@@ -1,0 +1,45 @@
+// Package rim is an open reimplementation of RIM — "RF-based Inertial
+// Measurement" (Wu, Zhang, Fan, Liu; ACM SIGCOMM 2019). RIM turns a
+// commodity MIMO WiFi receiver into an inertial measurement unit: from the
+// Channel State Information (CSI) of packets broadcast by one arbitrarily
+// placed, unlocalized AP, it measures moving distance, heading direction
+// and in-place rotation angle with centimeter/degree-level accuracy.
+//
+// The library contains the complete pipeline of the paper:
+//
+//   - spatial-temporal virtual antenna retracing (STAR): a following
+//     antenna re-observes the channel snapshots ("virtual antennas") a
+//     leading antenna recorded, so the alignment delay yields speed;
+//   - super-resolution virtual antenna alignment: the Time-Reversal
+//     Resonating Strength (TRRS) similarity, boosted by transmit-antenna
+//     averaging and virtual-massive-antenna windows;
+//   - precise motion reckoning: movement detection, dynamic-programming
+//     alignment-delay tracking, aligned-pair detection, and integration
+//     into distance/heading/rotation.
+//
+// Because the original system requires physical WiFi hardware, the module
+// also ships a physically grounded substitute for the radio environment: a
+// multipath ray-model channel simulator (rf), a CSI acquisition layer with
+// realistic receiver impairments (csi), a floorplan of the paper's testbed,
+// MEMS IMU baselines, a camera ground-truth rig, and a map-constrained
+// particle filter — everything needed to regenerate every figure of the
+// paper's evaluation (see DESIGN.md and EXPERIMENTS.md).
+//
+// # Quick start
+//
+//	arr := rim.NewHexagonalArray()                   // Fig. 2 array
+//	env := rim.NewFreeSpaceEnvironment(rim.DefaultRFConfig(), rim.Vec2{}, rim.Vec2{X: 10})
+//	sys := rim.NewSystem(env, arr, rim.RealisticReceiver(1), rim.DefaultCoreConfig(arr))
+//
+//	// Move the array: 1 m along body +X at 0.4 m/s (simulated; with real
+//	// hardware you would feed measured CSI into rim.Process instead).
+//	tr := rim.NewTrajectory(200, rim.Pose{Pos: rim.Vec2{X: 10}}).
+//		Pause(0.5).MoveDir(0, 1.0, 0.4).Pause(0.5).Build()
+//	res, err := sys.Measure(tr)
+//	if err != nil { ... }
+//	fmt.Printf("distance %.2f m, heading %.0f°\n",
+//		res.Distance, rim.Deg(res.Segments[0].HeadingBody))
+//
+// See examples/ for runnable programs and cmd/rimbench for the experiment
+// harness that reproduces the paper's evaluation figures.
+package rim

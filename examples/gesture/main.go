@@ -1,0 +1,82 @@
+// Gesture control: the §6.3.2 case study. A compact L-shaped 3-antenna
+// pointer unit recognizes left/right/up/down out-and-back hand strokes —
+// the paper's "turn a smartphone into a presentation pointer" demo. Three
+// simulated users with different hand speeds and reaches perform a session
+// of gestures; the example reports detection and recognition accuracy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rim"
+	"rim/internal/apps/gesture"
+	"rim/internal/traj"
+)
+
+func main() {
+	arr := rim.NewLShapeArray()
+	env := rim.NewFreeSpaceEnvironment(rim.FastRFConfig(), rim.Vec2{}, rim.Vec2{X: 10})
+
+	ccfg := rim.DefaultCoreConfig(arr)
+	ccfg.WindowSeconds = 0.25
+	ccfg.V = 16
+	gcfg := gesture.DefaultConfig(ccfg)
+
+	users := []struct {
+		name  string
+		speed float64
+		reach float64
+	}{
+		{"user 1 (calm)", 0.35, 0.28},
+		{"user 2 (brisk)", 0.45, 0.32},
+		{"user 3 (short strokes)", 0.40, 0.24},
+	}
+
+	total, detected, correct := 0, 0, 0
+	for ui, u := range users {
+		kinds := []traj.GestureKind{
+			traj.GestureRight, traj.GestureUp, traj.GestureLeft, traj.GestureDown,
+			traj.GestureLeft, traj.GestureDown, traj.GestureRight, traj.GestureUp,
+		}
+		tr, spans := traj.GestureSession(100, kinds, rim.Vec2{X: 10}, u.reach, u.speed)
+		series, err := rim.Collect(env, arr, tr, rim.RealisticReceiver(int64(100+ui))).Process(true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dets, err := gesture.Recognize(series, gcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%s: performed %d gestures\n", u.name, len(kinds))
+		matched := make([]bool, len(kinds))
+		for _, d := range dets {
+			mid := (d.Start + d.End) / 2
+			for gi, sp := range spans {
+				if mid >= sp[0]-30 && mid < sp[1]+30 && !matched[gi] {
+					matched[gi] = true
+					mark := "✓"
+					if d.Kind != kinds[gi] {
+						mark = "✗ (want " + kinds[gi].String() + ")"
+					}
+					fmt.Printf("  gesture %d: recognized %-5s %s\n", gi+1, d.Kind, mark)
+					detected++
+					if d.Kind == kinds[gi] {
+						correct++
+					}
+					break
+				}
+			}
+		}
+		for gi, m := range matched {
+			if !m {
+				fmt.Printf("  gesture %d: MISSED (%s)\n", gi+1, kinds[gi])
+			}
+		}
+		total += len(kinds)
+	}
+	fmt.Printf("\noverall: %d/%d detected (%.1f%%), %d/%d recognized correctly\n",
+		detected, total, 100*float64(detected)/float64(total), correct, detected)
+	fmt.Println("paper reports 96.25% detection with all detected gestures correctly recognized")
+}

@@ -1,0 +1,95 @@
+// Indoor tracking: the §6.3.3 case study in both variants. A cart carrying
+// the receiver is pushed through the paper's office floorplan (AP at the
+// far NLOS corner, location #0):
+//
+//  1. pure RIM with the hexagonal array — including sideway movements that
+//     gyroscopes and magnetometers cannot see (Fig. 20);
+//  2. RIM distance + (drifting) gyroscope heading, raw and corrected by the
+//     map-constrained particle filter (Fig. 21).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rim"
+	"rim/internal/apps/tracking"
+	"rim/internal/camera"
+)
+
+func main() {
+	office := rim.NewOffice()
+	ap := office.APs[0] // far corner: every path to the cart crosses walls
+	area := office.OpenAreaCenter()
+	env := rim.NewEnvironment(rim.FastRFConfig(), ap.Pos, area, &office.Plan)
+
+	// The motion: an L-shaped push with one sideway leg (the cart slides
+	// north without turning — invisible to a gyroscope).
+	rate := 100.0
+	start := area.Add(rim.Vec2{X: -2, Y: -1.5})
+	b := rim.NewTrajectory(rate, rim.Pose{Pos: start})
+	b.Pause(0.5)
+	b.MoveDir(0, 3, 0.5)
+	b.Pause(0.7)
+	b.MoveDir(rim.Rad(90), 2.5, 0.5) // sideway
+	b.Pause(0.5)
+	tr := b.Build()
+	tr.AddLateralSway(0.004, 0.9)
+	camCfg := camera.DefaultConfig(3)
+
+	// --- Variant 1: pure RIM (hexagonal array) -------------------------
+	hex := rim.NewHexagonalArray()
+	cfgHex := fastCfg(rim.DefaultCoreConfig(hex))
+	sHex, err := rim.Collect(env, hex, tr, rim.RealisticReceiver(11)).Process(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pure, err := tracking.PureRIM(sHex, cfgHex, rim.Pose{Pos: start}, tr, camCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("variant 1 — pure RIM, hexagonal array (Fig. 20):")
+	fmt.Printf("  path %.1f m (estimated %.1f m), median error %.2f m, max %.2f m\n",
+		pure.TruthDistance, pure.EstimatedDistance, pure.MedianError, pure.MaxError)
+	for i, seg := range pure.Core.SegmentsOfKind(rim.MotionTranslate) {
+		fmt.Printf("  leg %d: %.2f m heading %+.0f°\n", i+1, seg.Distance, rim.Deg(seg.HeadingBody))
+	}
+
+	// --- Variant 2: RIM + gyro, with and without the particle filter ---
+	lin := rim.NewLinear3Array()
+	cfgLin := fastCfg(rim.DefaultCoreConfig(lin))
+	sLin, err := rim.Collect(env, lin, tr, rim.RealisticReceiver(12)).Process(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// An aggressively drifting gyro makes the PF's contribution visible
+	// on a short demo path.
+	icfg := rim.DefaultIMUConfig(13)
+	icfg.GyroBiasWalk = 1.5e-3
+	readings := rim.SimulateIMU(tr, icfg)
+
+	raw, err := tracking.Fused(sLin, cfgLin, readings, tracking.FusedConfig{},
+		rim.Pose{Pos: start}, tr, camCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pf, err := tracking.Fused(sLin, cfgLin, readings, tracking.FusedConfig{
+		UsePF: true,
+		PF:    rim.DefaultFusionConfig(14),
+		Plan:  &office.Plan,
+	}, rim.Pose{Pos: start}, tr, camCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nvariant 2 — RIM distance + gyro heading (Fig. 21):")
+	fmt.Printf("  raw dead reckoning:        median error %.2f m\n", raw.MedianError)
+	fmt.Printf("  with map particle filter:  median error %.2f m\n", pf.MedianError)
+	fmt.Println("\nnote: the sideway leg changes heading without turning the body —")
+	fmt.Println("conventional inertial sensors cannot observe it; RIM resolves it directly.")
+}
+
+func fastCfg(cfg rim.CoreConfig) rim.CoreConfig {
+	cfg.WindowSeconds = 0.3
+	cfg.V = 16
+	return cfg
+}

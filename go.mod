@@ -1,0 +1,3 @@
+module rim
+
+go 1.22

@@ -1,0 +1,182 @@
+package gesture
+
+import (
+	"math"
+	"testing"
+
+	"rim/internal/core"
+	"rim/internal/traj"
+)
+
+// synthResult builds a core.Result with translate segments whose per-slot
+// estimates move at the given headings and speed.
+func synthResult(rate float64, slots int, segs []core.SegmentResult, headings map[int]float64) *core.Result {
+	res := &core.Result{Rate: rate}
+	res.Estimates = make([]core.Estimate, slots)
+	for t := range res.Estimates {
+		res.Estimates[t] = core.Estimate{T: float64(t) / rate, HeadingBody: math.NaN()}
+	}
+	for _, s := range segs {
+		for t := s.Start; t < s.End; t++ {
+			h, ok := headings[t]
+			if !ok {
+				h = s.HeadingBody
+			}
+			res.Estimates[t] = core.Estimate{
+				T: float64(t) / rate, Moving: true,
+				Kind: core.MotionTranslate, Speed: 0.4, HeadingBody: h,
+			}
+		}
+	}
+	res.Segments = segs
+	return res
+}
+
+func seg(start, end int, heading float64) core.SegmentResult {
+	return core.SegmentResult{
+		Start: start, End: end,
+		Kind: core.MotionTranslate, HeadingBody: heading, Confidence: 0.8,
+	}
+}
+
+func TestFromResultPairsSeparateHalves(t *testing.T) {
+	// Out-stroke and return stroke arrive as two separate segments with a
+	// short gap: they must pair into one gesture.
+	rate := 100.0
+	res := synthResult(rate, 300,
+		[]core.SegmentResult{seg(20, 80, 0), seg(110, 170, math.Pi)}, nil)
+	dets := fromResult(res, rate, Config{MaxGapSeconds: 0.5})
+	if len(dets) != 1 || dets[0].Kind != traj.GestureRight {
+		t.Fatalf("dets = %+v", dets)
+	}
+	if dets[0].Start != 20 || dets[0].End != 170 {
+		t.Errorf("span = [%d,%d)", dets[0].Start, dets[0].End)
+	}
+}
+
+func TestFromResultGapTooLarge(t *testing.T) {
+	rate := 100.0
+	res := synthResult(rate, 600,
+		[]core.SegmentResult{seg(20, 80, 0), seg(300, 360, math.Pi)}, nil)
+	if dets := fromResult(res, rate, Config{MaxGapSeconds: 0.5}); len(dets) != 0 {
+		t.Errorf("far-apart halves paired: %+v", dets)
+	}
+}
+
+func TestFromResultHeadingMismatch(t *testing.T) {
+	// Two strokes along different axes must not pair.
+	rate := 100.0
+	res := synthResult(rate, 300,
+		[]core.SegmentResult{seg(20, 80, 0), seg(110, 170, math.Pi/2)}, nil)
+	if dets := fromResult(res, rate, Config{MaxGapSeconds: 0.5}); len(dets) != 0 {
+		t.Errorf("orthogonal halves paired: %+v", dets)
+	}
+}
+
+func TestFromResultDiagonalAxisRejected(t *testing.T) {
+	// A 45° axis cannot be any of the four gestures.
+	rate := 100.0
+	res := synthResult(rate, 300,
+		[]core.SegmentResult{seg(20, 80, math.Pi/4), seg(110, 170, math.Pi/4+math.Pi)}, nil)
+	if dets := fromResult(res, rate, Config{MaxGapSeconds: 0.5}); len(dets) != 0 {
+		t.Errorf("diagonal gesture accepted: %+v", dets)
+	}
+}
+
+func TestFromResultFlipInsideSegment(t *testing.T) {
+	// One segment whose per-slot headings flip halfway: the flip detector
+	// must fire with the out-stroke's direction.
+	rate := 100.0
+	headings := map[int]float64{}
+	for tSlot := 20; tSlot < 90; tSlot++ {
+		headings[tSlot] = math.Pi / 2 // up
+	}
+	for tSlot := 90; tSlot < 160; tSlot++ {
+		headings[tSlot] = -math.Pi / 2 // back down
+	}
+	res := synthResult(rate, 200,
+		[]core.SegmentResult{seg(20, 160, math.Pi/2)}, headings)
+	dets := fromResult(res, rate, Config{MaxGapSeconds: 0.5})
+	if len(dets) != 1 || dets[0].Kind != traj.GestureUp {
+		t.Fatalf("dets = %+v", dets)
+	}
+}
+
+func TestFromResultUnbalancedWiggleDropped(t *testing.T) {
+	// A segment with a tiny counter-phase (flip test fails, and it is not
+	// one-way enough to be a half) must be dropped entirely.
+	rate := 100.0
+	headings := map[int]float64{}
+	for tSlot := 20; tSlot < 50; tSlot++ {
+		headings[tSlot] = 0
+	}
+	for tSlot := 50; tSlot < 76; tSlot++ {
+		headings[tSlot] = math.Pi
+	}
+	res := synthResult(rate, 120,
+		[]core.SegmentResult{seg(20, 76, 0)}, headings)
+	dets := fromResult(res, rate, Config{MaxGapSeconds: 0.5})
+	// This IS a near-balanced out-and-back (30 vs 26 slots at equal
+	// speed): the flip detector should accept it as a right gesture.
+	if len(dets) != 1 || dets[0].Kind != traj.GestureRight {
+		t.Fatalf("balanced flip not detected: %+v", dets)
+	}
+	// Now a clearly lopsided segment: 50 slots forward, 8 reverse. The
+	// flip test rejects it (phases not comparable), and the one-way check
+	// classifies it as a half-stroke with no partner: no detection.
+	headings2 := map[int]float64{}
+	for tSlot := 20; tSlot < 70; tSlot++ {
+		headings2[tSlot] = 0
+	}
+	for tSlot := 70; tSlot < 78; tSlot++ {
+		headings2[tSlot] = math.Pi
+	}
+	res2 := synthResult(rate, 120,
+		[]core.SegmentResult{seg(20, 78, 0)}, headings2)
+	if dets := fromResult(res2, rate, Config{MaxGapSeconds: 0.5}); len(dets) != 0 {
+		t.Errorf("lopsided segment produced detections: %+v", dets)
+	}
+}
+
+func TestFromResultDefaultGap(t *testing.T) {
+	// Zero MaxGapSeconds falls back to the default.
+	rate := 100.0
+	res := synthResult(rate, 300,
+		[]core.SegmentResult{seg(20, 80, 0), seg(100, 160, math.Pi)}, nil)
+	if dets := fromResult(res, rate, Config{}); len(dets) != 1 {
+		t.Errorf("default gap pairing failed: %+v", dets)
+	}
+}
+
+func TestFromResultChronologicalOrder(t *testing.T) {
+	rate := 100.0
+	headings := map[int]float64{}
+	// Segment B (later) is a flip gesture; A+C pair across it... keep it
+	// simple: two flip segments out of order of construction.
+	for tSlot := 200; tSlot < 240; tSlot++ {
+		headings[tSlot] = 0
+	}
+	for tSlot := 240; tSlot < 280; tSlot++ {
+		headings[tSlot] = math.Pi
+	}
+	for tSlot := 20; tSlot < 60; tSlot++ {
+		headings[tSlot] = math.Pi / 2
+	}
+	for tSlot := 60; tSlot < 100; tSlot++ {
+		headings[tSlot] = -math.Pi / 2
+	}
+	res := synthResult(rate, 400, []core.SegmentResult{
+		seg(20, 100, math.Pi/2),
+		seg(200, 280, 0),
+	}, headings)
+	dets := fromResult(res, rate, Config{MaxGapSeconds: 0.5})
+	if len(dets) != 2 {
+		t.Fatalf("dets = %+v", dets)
+	}
+	if dets[0].Start > dets[1].Start {
+		t.Error("detections not chronological")
+	}
+	if dets[0].Kind != traj.GestureUp || dets[1].Kind != traj.GestureRight {
+		t.Errorf("kinds = %v, %v", dets[0].Kind, dets[1].Kind)
+	}
+}

@@ -1,0 +1,215 @@
+// Package gesture implements the pointer gesture recognition of §6.3.2: a
+// compact L-shaped 3-antenna unit detects short out-and-back hand strokes
+// and classifies them as left/right/up/down from the aligned antenna pair
+// and the alignment-lag sign pattern (Fig. 19).
+package gesture
+
+import (
+	"math"
+
+	"rim/internal/core"
+	"rim/internal/csi"
+	"rim/internal/geom"
+	"rim/internal/traj"
+)
+
+// Detection is one recognized gesture.
+type Detection struct {
+	// Start and End bound the gesture in CSI slots.
+	Start, End int
+	// Kind is the recognized gesture.
+	Kind traj.GestureKind
+	// Confidence is the alignment confidence of the underlying segment.
+	Confidence float64
+}
+
+// Config tunes the recognizer.
+type Config struct {
+	// Core is the underlying RIM pipeline configuration; gestures are
+	// fast, short motions, so small lag windows work best.
+	Core core.Config
+	// MaxGapSeconds is the maximum idle gap between an out-stroke and a
+	// return stroke that arrive as separate movement segments
+	// (default 0.5 s).
+	MaxGapSeconds float64
+}
+
+// DefaultConfig returns gesture-tuned settings for the given core config.
+// A gesture's out-and-back strokes share one antenna pair whose alignment
+// lag flips sign at the turn (Fig. 8), so the pipeline should track each
+// movement segment as a single window and let the per-slot lag sign carry
+// the stroke direction — fixed sub-windows would straddle the turn.
+func DefaultConfig(ccfg core.Config) Config {
+	ccfg.MinSegmentSeconds = 0.2
+	ccfg.HeadingWindowSeconds = 30 // one window per gesture segment
+	return Config{Core: ccfg, MaxGapSeconds: 0.5}
+}
+
+// headingToKind maps a body-frame heading to the nearest gesture kind.
+// The pointer unit's body X axis points right and Y up.
+func headingToKind(h float64) (traj.GestureKind, bool) {
+	type cand struct {
+		kind traj.GestureKind
+		ang  float64
+	}
+	cands := []cand{
+		{traj.GestureRight, 0},
+		{traj.GestureUp, math.Pi / 2},
+		{traj.GestureLeft, math.Pi},
+		{traj.GestureDown, -math.Pi / 2},
+	}
+	best, bi := math.Inf(1), -1
+	for i, c := range cands {
+		if d := geom.AbsAngleDiff(h, c.ang); d < best {
+			best, bi = d, i
+		}
+	}
+	// Within 30°: the L-shape also exposes a diagonal pair whose heading
+	// (±45°) must not be force-mapped onto an axis gesture.
+	if bi < 0 || best > geom.Rad(30) {
+		return 0, false
+	}
+	return cands[bi].kind, true
+}
+
+// Recognize runs the RIM pipeline on a CSI recording of the pointer unit
+// and extracts gestures: each gesture is a movement along one axis whose
+// axis-projected velocity flips sign exactly once (the out-and-back
+// signature). The two phases may arrive as one movement segment (dwell
+// bridged) or as two adjacent segments.
+func Recognize(s *csi.Series, cfg Config) ([]Detection, error) {
+	res, err := core.ProcessSeries(s, cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	return fromResult(res, s.Rate, cfg), nil
+}
+
+// half is a single-direction movement phase awaiting its return stroke.
+type half struct {
+	start, end int
+	heading    float64
+	conf       float64
+}
+
+// analyzeSegment projects per-slot velocity onto the segment's dominant
+// axis and looks for the out-and-back signature: a contiguous positive
+// phase followed by a contiguous negative phase (or vice versa) of
+// comparable travel. It returns the detection, or the segment as a single
+// half-stroke, or neither (unclassifiable).
+func analyzeSegment(res *core.Result, seg core.SegmentResult, rate float64) (*Detection, *half) {
+	if math.IsNaN(seg.HeadingBody) {
+		return nil, nil
+	}
+	axis := seg.HeadingBody
+	n := seg.End - seg.Start
+	x := make([]float64, n)
+	var absTotal float64
+	for k := 0; k < n; k++ {
+		e := res.Estimates[seg.Start+k]
+		if e.Kind != core.MotionTranslate || math.IsNaN(e.HeadingBody) {
+			continue
+		}
+		switch {
+		case geom.AbsAngleDiff(e.HeadingBody, axis) < geom.Rad(30):
+			x[k] = e.Speed
+		case geom.AbsAngleDiff(e.HeadingBody, geom.NormalizeAngle(axis+math.Pi)) < geom.Rad(30):
+			x[k] = -e.Speed
+		}
+		absTotal += math.Abs(x[k])
+	}
+	if absTotal == 0 {
+		return nil, nil
+	}
+	prefix := make([]float64, n+1)
+	for k := 0; k < n; k++ {
+		prefix[k+1] = prefix[k] + x[k]
+	}
+	total := prefix[n]
+	minPhase := int(0.15 * rate)
+	bestB, bestScore := -1, 0.0
+	for b := minPhase; b <= n-minPhase; b++ {
+		s1 := prefix[b]
+		s2 := total - prefix[b]
+		if s1*s2 >= 0 {
+			continue
+		}
+		if score := math.Abs(s1) + math.Abs(s2); score > bestScore {
+			bestScore, bestB = score, b
+		}
+	}
+	if bestB >= 0 {
+		s1 := prefix[bestB]
+		s2 := total - prefix[bestB]
+		lo := math.Min(math.Abs(s1), math.Abs(s2))
+		hi := math.Max(math.Abs(s1), math.Abs(s2))
+		// A genuine out-and-back travels comparably in both phases and
+		// the split explains most of the motion energy.
+		if lo >= 0.25*hi && bestScore >= 0.45*absTotal {
+			h := axis
+			if s1 < 0 {
+				h = geom.NormalizeAngle(axis + math.Pi)
+			}
+			if kind, ok := headingToKind(h); ok {
+				return &Detection{
+					Start: seg.Start, End: seg.End,
+					Kind: kind, Confidence: seg.Confidence,
+				}, nil
+			}
+			return nil, nil
+		}
+	}
+	// Single-direction phase: half a gesture (its return stroke may be a
+	// separate segment). Require the motion to be genuinely one-way —
+	// a near-balanced segment that failed the flip test is an unresolved
+	// wiggle and must not masquerade as a stroke.
+	if math.Abs(total) < 0.5*absTotal {
+		return nil, nil
+	}
+	h := axis
+	if total < 0 {
+		h = geom.NormalizeAngle(axis + math.Pi)
+	}
+	return nil, &half{start: seg.Start, end: seg.End, heading: h, conf: seg.Confidence}
+}
+
+func fromResult(res *core.Result, rate float64, cfg Config) []Detection {
+	if cfg.MaxGapSeconds <= 0 {
+		cfg.MaxGapSeconds = 0.5
+	}
+	var out []Detection
+	var halves []half
+	for _, seg := range res.SegmentsOfKind(core.MotionTranslate) {
+		det, hf := analyzeSegment(res, seg, rate)
+		if det != nil {
+			out = append(out, *det)
+		} else if hf != nil {
+			halves = append(halves, *hf)
+		}
+	}
+	// Pair an out-stroke half with the next opposite-heading half.
+	maxGap := int(cfg.MaxGapSeconds * rate)
+	for i := 0; i+1 < len(halves); i++ {
+		a, b := halves[i], halves[i+1]
+		if b.start-a.end > maxGap {
+			continue
+		}
+		if geom.AbsAngleDiff(geom.NormalizeAngle(a.heading+math.Pi), b.heading) > geom.Rad(25) {
+			continue
+		}
+		kind, ok := headingToKind(a.heading)
+		if !ok {
+			continue
+		}
+		out = append(out, Detection{Start: a.start, End: b.end, Kind: kind, Confidence: a.conf})
+		i++ // consume the return stroke
+	}
+	// Restore chronological order (flip-detections and paired halves may
+	// interleave).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Start < out[j-1].Start; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

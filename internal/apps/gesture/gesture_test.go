@@ -1,0 +1,114 @@
+package gesture
+
+import (
+	"testing"
+
+	"rim/internal/array"
+	"rim/internal/core"
+	"rim/internal/csi"
+	"rim/internal/geom"
+	"rim/internal/rf"
+	"rim/internal/traj"
+)
+
+func collectSeries(t *testing.T, tr *traj.Trajectory, arr *array.Array, seed int64) *csi.Series {
+	t.Helper()
+	env := rf.NewEnvironment(rf.FastConfig(), geom.Vec2{}, geom.Vec2{X: 10, Y: 0}, nil)
+	s, err := csi.Collect(env, arr, tr, csi.RealisticReceiver(seed)).Process(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func gestureConfig(arr *array.Array) Config {
+	ccfg := core.DefaultConfig(arr)
+	ccfg.WindowSeconds = 0.25
+	ccfg.V = 16
+	return DefaultConfig(ccfg)
+}
+
+func TestRecognizeSession(t *testing.T) {
+	arr := array.NewLShape(0.029)
+	kinds := []traj.GestureKind{traj.GestureRight, traj.GestureUp, traj.GestureLeft, traj.GestureDown}
+	tr, _ := traj.GestureSession(100, kinds, geom.Vec2{X: 10, Y: 0}, 0.3, 0.4)
+	s := collectSeries(t, tr, arr, 41)
+	dets, err := Recognize(s, gestureConfig(arr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) < 3 {
+		t.Fatalf("detected %d of 4 gestures: %+v", len(dets), dets)
+	}
+	if len(dets) > 4 {
+		t.Fatalf("false triggers: %d detections", len(dets))
+	}
+	// Every detection must match the ground-truth gesture overlapping it.
+	correct := 0
+	for _, d := range dets {
+		mid := (d.Start + d.End) / 2
+		// Find which gesture span contains mid.
+		_, spans := traj.GestureSession(100, kinds, geom.Vec2{X: 10, Y: 0}, 0.3, 0.4)
+		for gi, sp := range spans {
+			if mid >= sp[0] && mid < sp[1] {
+				if d.Kind == kinds[gi] {
+					correct++
+				} else {
+					t.Errorf("gesture %d recognized as %v, want %v", gi, d.Kind, kinds[gi])
+				}
+			}
+		}
+	}
+	if correct < 3 {
+		t.Errorf("only %d correctly recognized", correct)
+	}
+}
+
+func TestNoGestureWhenStatic(t *testing.T) {
+	arr := array.NewLShape(0.029)
+	b := traj.NewBuilder(100, geom.Pose{Pos: geom.Vec2{X: 10, Y: 0}})
+	b.Pause(2.5)
+	s := collectSeries(t, b.Build(), arr, 43)
+	dets, err := Recognize(s, gestureConfig(arr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 0 {
+		t.Errorf("false triggers on a static trace: %+v", dets)
+	}
+}
+
+func TestHeadingToKind(t *testing.T) {
+	cases := []struct {
+		h    float64
+		kind traj.GestureKind
+		ok   bool
+	}{
+		{0, traj.GestureRight, true},
+		{geom.Rad(90), traj.GestureUp, true},
+		{geom.Rad(180), traj.GestureLeft, true},
+		{geom.Rad(-90), traj.GestureDown, true},
+		{geom.Rad(10), traj.GestureRight, true},
+		{geom.Rad(45), 0, false}, // diagonal: rejected
+	}
+	for _, c := range cases {
+		kind, ok := headingToKind(c.h)
+		if ok != c.ok || (ok && kind != c.kind) {
+			t.Errorf("headingToKind(%v deg) = %v, %v; want %v, %v",
+				geom.Deg(c.h), kind, ok, c.kind, c.ok)
+		}
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	ccfg := core.DefaultConfig(array.NewLShape(0.029))
+	cfg := DefaultConfig(ccfg)
+	if cfg.MaxGapSeconds <= 0 {
+		t.Error("MaxGapSeconds not set")
+	}
+	// Gestures are tracked as one window per segment so the lag-sign flip
+	// at the turn carries the stroke structure.
+	if cfg.Core.HeadingWindowSeconds <= ccfg.HeadingWindowSeconds {
+		t.Error("gesture config should widen heading windows to cover whole segments")
+	}
+}

@@ -1,0 +1,88 @@
+// Package handwriting implements the desktop handwriting case study of
+// §6.3.1: the antenna array is slid over a desk to write letters; RIM
+// reconstructs the strokes, and the reconstruction error is the minimum
+// projection distance from each estimated point to the ground-truth
+// trajectory (Fig. 18).
+package handwriting
+
+import (
+	"fmt"
+
+	"rim/internal/core"
+	"rim/internal/csi"
+	"rim/internal/geom"
+	"rim/internal/traj"
+)
+
+// Result is one reconstructed letter.
+type Result struct {
+	Letter rune
+	// Estimated is the reconstructed pen trajectory.
+	Estimated []geom.Vec2
+	// Truth is the ground-truth glyph polyline.
+	Truth []geom.Vec2
+	// MeanError is the §6.3.1 metric: the mean minimum projection
+	// distance from estimated points to the truth polyline, meters.
+	MeanError float64
+	// Core is the underlying pipeline result.
+	Core *core.Result
+}
+
+// Reconstruct runs RIM on the CSI of a handwriting motion and evaluates the
+// recovered trajectory against the glyph polyline. initial is the pen-down
+// pose (the paper synchronizes at the initial point). Only slots where the
+// pipeline reports motion contribute points, matching how the pen trace is
+// rendered.
+func Reconstruct(s *csi.Series, cfg core.Config, letter rune, initial geom.Pose, truth []geom.Vec2) (*Result, error) {
+	if len(truth) == 0 {
+		return nil, fmt.Errorf("handwriting: empty truth polyline")
+	}
+	res, err := core.ProcessSeries(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pts := res.Reckon(initial)
+	var est []geom.Vec2
+	for i, p := range pts {
+		if res.Estimates[i].Moving {
+			est = append(est, p.Pose.Pos)
+		}
+	}
+	if len(est) == 0 {
+		est = []geom.Vec2{initial.Pos}
+	}
+	return &Result{
+		Letter:    letter,
+		Estimated: est,
+		Truth:     truth,
+		MeanError: traj.PolylineError(est, truth),
+		Core:      res,
+	}, nil
+}
+
+// WriteAndReconstruct is the end-to-end convenience used by experiments:
+// generate the letter trajectory, collect CSI through the given collector,
+// and reconstruct. The collector indirection keeps this package free of the
+// RF substrate (tests inject it).
+func WriteAndReconstruct(
+	letter rune,
+	origin geom.Vec2,
+	size, speed, rate float64,
+	collect func(tr *traj.Trajectory) (*csi.Series, error),
+	cfg core.Config,
+) (*Result, error) {
+	tr, err := traj.Letter(rate, letter, origin, size, speed)
+	if err != nil {
+		return nil, err
+	}
+	s, err := collect(tr)
+	if err != nil {
+		return nil, err
+	}
+	truth, err := traj.LetterPolyline(letter, origin, size)
+	if err != nil {
+		return nil, err
+	}
+	initial := geom.Pose{Pos: truth[0]}
+	return Reconstruct(s, cfg, letter, initial, truth)
+}

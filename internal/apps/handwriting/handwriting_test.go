@@ -1,0 +1,84 @@
+package handwriting
+
+import (
+	"testing"
+
+	"rim/internal/array"
+	"rim/internal/core"
+	"rim/internal/csi"
+	"rim/internal/geom"
+	"rim/internal/rf"
+	"rim/internal/traj"
+)
+
+func collector(t *testing.T, arr *array.Array, seed int64) func(tr *traj.Trajectory) (*csi.Series, error) {
+	t.Helper()
+	env := rf.NewEnvironment(rf.FastConfig(), geom.Vec2{}, geom.Vec2{X: 10, Y: 0}, nil)
+	return func(tr *traj.Trajectory) (*csi.Series, error) {
+		return csi.Collect(env, arr, tr, csi.RealisticReceiver(seed)).Process(true)
+	}
+}
+
+func writeConfig(arr *array.Array) core.Config {
+	cfg := core.DefaultConfig(arr)
+	cfg.WindowSeconds = 0.35
+	cfg.V = 16
+	cfg.HeadingWindowSeconds = 0.5
+	return cfg
+}
+
+func TestReconstructLetterL(t *testing.T) {
+	arr := array.NewHexagonal(0.029)
+	res, err := WriteAndReconstruct('L', geom.Vec2{X: 10, Y: 0}, 0.4, 0.25, 100,
+		collector(t, arr, 51), writeConfig(arr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Letter != 'L' {
+		t.Error("letter identity lost")
+	}
+	if len(res.Estimated) == 0 {
+		t.Fatal("no reconstructed points")
+	}
+	// The paper reports ~2.4 cm mean trajectory error for ~20 cm letters;
+	// accept up to 8 cm for a 40 cm glyph on the fast test channel.
+	if res.MeanError > 0.08 {
+		t.Errorf("mean trajectory error = %.3f m, want < 0.08", res.MeanError)
+	}
+}
+
+func TestReconstructRejectsEmptyTruth(t *testing.T) {
+	if _, err := Reconstruct(nil, core.Config{}, 'X', geom.Pose{}, nil); err == nil {
+		t.Error("empty truth must error")
+	}
+}
+
+func TestUnknownLetterPropagates(t *testing.T) {
+	arr := array.NewHexagonal(0.029)
+	_, err := WriteAndReconstruct('@', geom.Vec2{}, 0.4, 0.25, 100,
+		collector(t, arr, 1), writeConfig(arr))
+	if err == nil {
+		t.Error("unknown letter must error")
+	}
+}
+
+func TestStaticPenProducesFallbackPoint(t *testing.T) {
+	// A recording with no motion must not crash: it degrades to the
+	// initial point with the corresponding (large but finite) error.
+	arr := array.NewHexagonal(0.029)
+	env := rf.NewEnvironment(rf.FastConfig(), geom.Vec2{}, geom.Vec2{X: 10, Y: 0}, nil)
+	b := traj.NewBuilder(100, geom.Pose{Pos: geom.Vec2{X: 10, Y: 0}})
+	b.Pause(1.0)
+	s, err := csi.Collect(env, arr, b.Build(), csi.RealisticReceiver(2)).Process(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := []geom.Vec2{{X: 10, Y: 0}, {X: 10.4, Y: 0}}
+	res, err := Reconstruct(s, writeConfig(arr), 'I', geom.Pose{Pos: geom.Vec2{X: 10, Y: 0}}, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Estimated) != 1 {
+		t.Errorf("fallback points = %d, want 1", len(res.Estimated))
+	}
+}

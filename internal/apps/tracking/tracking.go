@@ -1,0 +1,115 @@
+// Package tracking implements the indoor-tracking case studies of §6.3.3:
+// pure-RIM tracking (hexagonal array, sideway movements, Fig. 20) and
+// RIM-distance + gyroscope-heading fusion with an optional map-constrained
+// particle filter (Fig. 21).
+package tracking
+
+import (
+	"rim/internal/camera"
+	"rim/internal/core"
+	"rim/internal/csi"
+	"rim/internal/floorplan"
+	"rim/internal/fusion"
+	"rim/internal/geom"
+	"rim/internal/imu"
+	"rim/internal/sigproc"
+	"rim/internal/traj"
+)
+
+// Result is a tracked trajectory with its evaluation against ground truth.
+type Result struct {
+	// Estimated positions, one per CSI slot.
+	Estimated []geom.Vec2
+	// Truth positions resampled at the same instants (camera reference).
+	Truth []geom.Vec2
+	// Errors is the per-slot position error in meters.
+	Errors []float64
+	// MedianError / P90Error / MaxError summarize Errors.
+	MedianError, P90Error, MaxError float64
+	// EstimatedDistance and TruthDistance compare total path lengths.
+	EstimatedDistance, TruthDistance float64
+	// Core is the underlying RIM result (nil for fused tracking without a
+	// full pipeline).
+	Core *core.Result
+}
+
+func evaluate(est []geom.Vec2, fixes []camera.Fix, rate float64) *Result {
+	r := &Result{Estimated: est}
+	for i, p := range est {
+		t := float64(i) / rate
+		truth := camera.PositionAt(fixes, t)
+		r.Truth = append(r.Truth, truth)
+		r.Errors = append(r.Errors, p.Dist(truth))
+	}
+	r.MedianError = sigproc.Median(r.Errors)
+	r.P90Error = sigproc.Percentile(r.Errors, 90)
+	r.MaxError = sigproc.Max(r.Errors)
+	for i := 1; i < len(est); i++ {
+		r.EstimatedDistance += est[i].Dist(est[i-1])
+	}
+	r.TruthDistance = camera.PathLength(fixes)
+	return r
+}
+
+// PureRIM tracks a motion with RIM alone: the pipeline's per-slot speed,
+// heading and rotation estimates are dead-reckoned from the known initial
+// pose and compared against the camera ground truth of the trajectory.
+func PureRIM(s *csi.Series, cfg core.Config, initial geom.Pose, truth *traj.Trajectory, camCfg camera.Config) (*Result, error) {
+	res, err := core.ProcessSeries(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	est := res.ReckonPositions(initial)
+	fixes := camera.Track(truth, camCfg)
+	out := evaluate(est, fixes, s.Rate)
+	out.Core = res
+	return out, nil
+}
+
+// FusedConfig selects the fusion variant of Fig. 21.
+type FusedConfig struct {
+	// UsePF enables the map-constrained particle filter; without it the
+	// output is raw dead reckoning of RIM distance + gyro heading.
+	UsePF bool
+	// PF parameterizes the particle filter (used when UsePF).
+	PF fusion.Config
+	// Plan is the floorplan for the PF wall constraint.
+	Plan *floorplan.Plan
+}
+
+// Fused tracks a motion by fusing RIM's distance estimates with gyroscope
+// heading (the single-NIC integration of §6.3.3), optionally corrected by
+// the particle filter.
+func Fused(s *csi.Series, cfg core.Config, readings []imu.Reading, fcfg FusedConfig, initial geom.Pose, truth *traj.Trajectory, camCfg camera.Config) (*Result, error) {
+	res, err := core.ProcessSeries(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	speeds := res.SpeedSeries()
+	n := len(speeds)
+	if len(readings) < n {
+		n = len(readings)
+	}
+	dt := 1 / s.Rate
+
+	var est []geom.Vec2
+	if fcfg.UsePF {
+		f := fusion.NewFilter(fcfg.Plan, initial, fcfg.PF)
+		inputs := make([]fusion.Input, n)
+		for i := 0; i < n; i++ {
+			inputs[i] = fusion.Input{
+				DistDelta:  speeds[i] * dt,
+				ThetaDelta: readings[i].Gyro * dt,
+			}
+		}
+		for _, pose := range f.TrackAll(inputs) {
+			est = append(est, pose.Pos)
+		}
+	} else {
+		est = imu.DeadReckon(readings[:n], speeds[:n], s.Rate, initial)
+	}
+	fixes := camera.Track(truth, camCfg)
+	out := evaluate(est, fixes, s.Rate)
+	out.Core = res
+	return out, nil
+}

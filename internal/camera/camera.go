@@ -1,0 +1,138 @@
+// Package camera simulates the camera-based ground-truth system of §6.1:
+// the target is tracked in pixel coordinates (quantized, slightly noisy)
+// and converted to 2D world coordinates, with a small synchronization
+// offset relative to the CSI clock. Evaluation code compares RIM estimates
+// against this reference exactly the way the paper does — synchronized at
+// the initial movement point and paired sample-by-sample.
+package camera
+
+import (
+	"math"
+	"math/rand"
+
+	"rim/internal/geom"
+	"rim/internal/traj"
+)
+
+// Config describes the tracking rig.
+type Config struct {
+	// PixelsPerMeter is the image resolution of the world plane
+	// (default 400: 2.5 mm/pixel).
+	PixelsPerMeter float64
+	// PixelNoiseStd is the marker-detection jitter in pixels (default 1).
+	PixelNoiseStd float64
+	// SyncOffsetSeconds shifts the camera clock relative to the CSI clock
+	// (the paper notes slight offsets that "do not favor" evaluation).
+	SyncOffsetSeconds float64
+	// Rate is the camera frame rate (default 30 fps).
+	Rate float64
+	// Seed drives the pixel jitter.
+	Seed int64
+}
+
+// DefaultConfig returns a realistic rig.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		PixelsPerMeter:    400,
+		PixelNoiseStd:     1,
+		SyncOffsetSeconds: 0.02,
+		Rate:              30,
+		Seed:              seed,
+	}
+}
+
+// Fix is one camera-derived position fix.
+type Fix struct {
+	T   float64 // camera time (CSI clock + sync offset)
+	Pos geom.Vec2
+}
+
+// Track films the trajectory and returns world-coordinate fixes.
+func Track(tr *traj.Trajectory, cfg Config) []Fix {
+	if cfg.PixelsPerMeter <= 0 {
+		cfg.PixelsPerMeter = 400
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 30
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	dur := tr.Duration()
+	var out []Fix
+	for t := 0.0; t <= dur; t += 1 / cfg.Rate {
+		p := positionAt(tr, t+cfg.SyncOffsetSeconds)
+		// Pixel quantization + jitter.
+		px := math.Round(p.X*cfg.PixelsPerMeter + rng.NormFloat64()*cfg.PixelNoiseStd)
+		py := math.Round(p.Y*cfg.PixelsPerMeter + rng.NormFloat64()*cfg.PixelNoiseStd)
+		out = append(out, Fix{
+			T:   t,
+			Pos: geom.Vec2{X: px / cfg.PixelsPerMeter, Y: py / cfg.PixelsPerMeter},
+		})
+	}
+	return out
+}
+
+// positionAt linearly interpolates the trajectory position at time t,
+// clamping outside the recorded range.
+func positionAt(tr *traj.Trajectory, t float64) geom.Vec2 {
+	n := len(tr.Samples)
+	if n == 0 {
+		return geom.Vec2{}
+	}
+	if t <= tr.Samples[0].T {
+		return tr.Samples[0].Pose.Pos
+	}
+	if t >= tr.Samples[n-1].T {
+		return tr.Samples[n-1].Pose.Pos
+	}
+	idx := int(t * tr.Rate)
+	if idx >= n-1 {
+		idx = n - 2
+	}
+	a, b := tr.Samples[idx], tr.Samples[idx+1]
+	span := b.T - a.T
+	if span <= 0 {
+		return a.Pose.Pos
+	}
+	frac := (t - a.T) / span
+	return a.Pose.Pos.Lerp(b.Pose.Pos, frac)
+}
+
+// PositionAt resamples the camera track at an arbitrary time by linear
+// interpolation (clamped).
+func PositionAt(fixes []Fix, t float64) geom.Vec2 {
+	n := len(fixes)
+	if n == 0 {
+		return geom.Vec2{}
+	}
+	if t <= fixes[0].T {
+		return fixes[0].Pos
+	}
+	if t >= fixes[n-1].T {
+		return fixes[n-1].Pos
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if fixes[mid].T <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	span := fixes[hi].T - fixes[lo].T
+	if span <= 0 {
+		return fixes[lo].Pos
+	}
+	frac := (t - fixes[lo].T) / span
+	return fixes[lo].Pos.Lerp(fixes[hi].Pos, frac)
+}
+
+// PathLength returns the total path length of the camera track — the
+// ground-truth moving distance used by the distance-accuracy experiments.
+func PathLength(fixes []Fix) float64 {
+	var d float64
+	for i := 1; i < len(fixes); i++ {
+		d += fixes[i].Pos.Dist(fixes[i-1].Pos)
+	}
+	return d
+}

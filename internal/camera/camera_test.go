@@ -1,0 +1,88 @@
+package camera
+
+import (
+	"math"
+	"testing"
+
+	"rim/internal/geom"
+	"rim/internal/traj"
+)
+
+func TestTrackFollowsTrajectory(t *testing.T) {
+	tr := traj.Line(100, geom.Vec2{X: 1, Y: 2}, 0, 0, 2.0, 0.5)
+	cfg := DefaultConfig(1)
+	cfg.SyncOffsetSeconds = 0
+	fixes := Track(tr, cfg)
+	if len(fixes) < int(tr.Duration()*cfg.Rate) {
+		t.Fatalf("too few fixes: %d", len(fixes))
+	}
+	// Every fix must be within a few mm of the true path position.
+	for _, f := range fixes {
+		truth := positionAt(tr, f.T)
+		if f.Pos.Dist(truth) > 0.01 {
+			t.Fatalf("fix at %v off by %v m", f.T, f.Pos.Dist(truth))
+		}
+	}
+}
+
+func TestTrackPathLength(t *testing.T) {
+	tr := traj.Line(100, geom.Vec2{}, 0, 0, 3.0, 1.0)
+	cfg := DefaultConfig(2)
+	cfg.PixelNoiseStd = 0
+	cfg.SyncOffsetSeconds = 0
+	fixes := Track(tr, cfg)
+	if d := PathLength(fixes); math.Abs(d-3.0) > 0.05 {
+		t.Errorf("path length = %v, want 3.0", d)
+	}
+}
+
+func TestSyncOffsetShiftsFixes(t *testing.T) {
+	tr := traj.Line(100, geom.Vec2{}, 0, 0, 1.0, 0.5)
+	a := Track(tr, Config{PixelsPerMeter: 1e6, Rate: 30, SyncOffsetSeconds: 0})
+	b := Track(tr, Config{PixelsPerMeter: 1e6, Rate: 30, SyncOffsetSeconds: 0.1})
+	// At the same camera time, b sees the position 0.1 s later: +5 cm.
+	mid := len(a) / 2
+	diff := b[mid].Pos.X - a[mid].Pos.X
+	if math.Abs(diff-0.05) > 0.005 {
+		t.Errorf("sync shift = %v m, want 0.05", diff)
+	}
+}
+
+func TestPositionAtInterpolation(t *testing.T) {
+	fixes := []Fix{
+		{T: 0, Pos: geom.Vec2{X: 0}},
+		{T: 1, Pos: geom.Vec2{X: 1}},
+		{T: 2, Pos: geom.Vec2{X: 3}},
+	}
+	if got := PositionAt(fixes, 0.5); math.Abs(got.X-0.5) > 1e-12 {
+		t.Errorf("interp = %v", got)
+	}
+	if got := PositionAt(fixes, 1.5); math.Abs(got.X-2) > 1e-12 {
+		t.Errorf("interp = %v", got)
+	}
+	if PositionAt(fixes, -1) != fixes[0].Pos || PositionAt(fixes, 99) != fixes[2].Pos {
+		t.Error("clamping failed")
+	}
+	if PositionAt(nil, 1) != (geom.Vec2{}) {
+		t.Error("empty fixes must return zero")
+	}
+}
+
+func TestQuantization(t *testing.T) {
+	tr := traj.Line(100, geom.Vec2{}, 0, 0, 0.5, 0.5)
+	cfg := Config{PixelsPerMeter: 10, PixelNoiseStd: 0, Rate: 30} // 10 cm pixels
+	fixes := Track(tr, cfg)
+	for _, f := range fixes {
+		// All coordinates must be multiples of 0.1 m.
+		if r := math.Mod(f.Pos.X+1e-9, 0.1); r > 1e-6 && r < 0.1-1e-6 {
+			t.Fatalf("unquantized fix %v", f.Pos)
+		}
+	}
+}
+
+func TestEmptyTrajectory(t *testing.T) {
+	empty := &traj.Trajectory{Rate: 100}
+	if got := positionAt(empty, 1); got != (geom.Vec2{}) {
+		t.Error("empty trajectory position must be zero")
+	}
+}

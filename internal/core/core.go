@@ -1,0 +1,394 @@
+// Package core assembles RIM's motion reckoning (§4.4): it consumes a
+// processed CSI series, detects movement, builds the per-pair-group TRRS
+// alignment matrices, tracks alignment delays with the dynamic program,
+// decides which antenna pairs are aligned (translation) or whether every
+// adjacent pair is aligned (in-place rotation), and integrates speed,
+// heading and rotation angle into motion estimates.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"rim/internal/align"
+	"rim/internal/array"
+	"rim/internal/csi"
+	"rim/internal/geom"
+	"rim/internal/sigproc"
+	"rim/internal/trrs"
+)
+
+// Config parameterizes the full RIM pipeline.
+type Config struct {
+	// Array describes the receive antenna geometry. Required.
+	Array *array.Array
+	// WindowSeconds is the one-sided lag window W of the alignment
+	// matrices; it must exceed separation/speed for the slowest expected
+	// motion (default 0.5 s, as in the paper).
+	WindowSeconds float64
+	// V is the number of virtual massive antennas (default 30; the paper
+	// recommends ≥30 at 200 Hz).
+	V int
+	// Movement, Track, PreDetect and PostCheck tune the §4.1–4.3 stages.
+	Movement  align.MovementConfig
+	Track     align.TrackConfig
+	PreDetect align.PreDetectConfig
+	PostCheck align.PostCheckConfig
+	// MinSegmentSeconds discards movement segments shorter than this.
+	MinSegmentSeconds float64
+	// HeadingWindowSeconds is the duration of the sub-windows within a
+	// movement segment over which the winning pair group (and hence the
+	// heading) is re-selected. Curved strokes and sideway course changes
+	// switch aligned pairs mid-segment; shorter windows track them at the
+	// cost of less DP context (default 0.8 s).
+	HeadingWindowSeconds float64
+	// SpeedSmoothHalf is the half-width (slots) of the speed moving
+	// average (default rate/20).
+	SpeedSmoothHalf int
+	// RotationMinRingFrac is the fraction of adjacent-ring pairs that must
+	// pass pre-detection simultaneously to declare an in-place rotation.
+	RotationMinRingFrac float64
+	// ContinuousHeading enables the §7 "angle resolution" extension: the
+	// winning direction is refined between the array's discrete direction
+	// set by comparing the alignment quality of the angularly adjacent
+	// pair groups (TRRS decays with deviation angle, so the neighbours'
+	// relative peak strengths locate the true heading inside the 30° bin).
+	ContinuousHeading bool
+	// DisablePairAveraging turns off the §4.2 parallel-pair matrix
+	// averaging (ablation).
+	DisablePairAveraging bool
+	// NaivePeakPicking replaces the dynamic-programming tracker with the
+	// per-column argmax (ablation).
+	NaivePeakPicking bool
+}
+
+// DefaultConfig returns the paper's operating point for the given array.
+func DefaultConfig(arr *array.Array) Config {
+	return Config{
+		Array:                arr,
+		WindowSeconds:        0.5,
+		V:                    30,
+		Movement:             align.DefaultMovementConfig(),
+		Track:                align.DefaultTrackConfig(),
+		PreDetect:            align.DefaultPreDetectConfig(),
+		PostCheck:            align.DefaultPostCheckConfig(),
+		MinSegmentSeconds:    0.25,
+		HeadingWindowSeconds: 0.8,
+		RotationMinRingFrac:  0.8,
+	}
+}
+
+// MotionKind classifies a movement segment.
+type MotionKind int
+
+const (
+	// MotionNone means the device is static.
+	MotionNone MotionKind = iota
+	// MotionTranslate is a linear move along an identified direction.
+	MotionTranslate
+	// MotionRotate is an in-place rotation.
+	MotionRotate
+)
+
+// String implements fmt.Stringer.
+func (k MotionKind) String() string {
+	switch k {
+	case MotionNone:
+		return "none"
+	case MotionTranslate:
+		return "translate"
+	case MotionRotate:
+		return "rotate"
+	default:
+		return "unknown"
+	}
+}
+
+// SegmentResult summarizes one movement segment.
+type SegmentResult struct {
+	Start, End int // slot range [Start, End)
+	Kind       MotionKind
+	// Distance is the translation distance in meters (MotionTranslate).
+	Distance float64
+	// HeadingBody is the body-frame motion direction in radians
+	// (MotionTranslate); the array resolves it to its discrete direction
+	// set.
+	HeadingBody float64
+	// Angle is the signed in-place rotation in radians (MotionRotate,
+	// CCW positive).
+	Angle float64
+	// Confidence is the post-check confidence of the chosen alignment.
+	Confidence float64
+	// GroupDir and GroupSep identify the winning pair group.
+	GroupDir, GroupSep float64
+}
+
+// Estimate is the per-slot motion output.
+type Estimate struct {
+	T           float64
+	Moving      bool
+	Kind        MotionKind
+	Speed       float64 // m/s (translation) or arc speed (rotation)
+	HeadingBody float64 // body-frame heading, NaN when not translating
+	AngVel      float64 // rad/s, CCW positive, non-zero when rotating
+}
+
+// Result is the full pipeline output.
+type Result struct {
+	Rate      float64
+	Estimates []Estimate
+	Segments  []SegmentResult
+	// Distance is the total translation distance.
+	Distance float64
+	// RotationAngle is the total absolute in-place rotation.
+	RotationAngle float64
+	// MovementIndicator is the §4.1 self-TRRS statistic (exposed for the
+	// Fig. 7 experiment).
+	MovementIndicator []float64
+}
+
+// groupMatrices holds one alignment matrix per parallel-isometric group.
+type groupMatrix struct {
+	group array.ParallelGroup
+	m     *trrs.Matrix
+}
+
+// Pipeline precomputes the expensive pieces (TRRS engine, group matrices)
+// once per CSI series so that segment-level queries stay cheap.
+type Pipeline struct {
+	cfg    Config
+	eng    *trrs.Engine
+	w      int
+	groups []groupMatrix
+	// ring holds per-adjacent-pair matrices for rotation detection
+	// (only for arrays with ≥ 4 antennas arranged in a ring).
+	ring []groupMatrix
+	// moving is the per-slot movement flag of the last Process call;
+	// movingSoft is the permissive variant (indicator below the release
+	// level) used to gate per-slot speed: a slot must look genuinely
+	// static — not merely a hysteresis release flicker — before its
+	// speed contribution is dropped.
+	moving     []bool
+	movingSoft []bool
+	// fastInd is the fast-lag-only movement indicator: device motion
+	// above ~0.2 m/s must decorrelate it, while environmental churn
+	// (walking humans) barely touches it. Used to veto implausible
+	// speed claims in churn-inflated segments.
+	fastInd []float64
+}
+
+// NewPipeline builds the pipeline for one CSI series.
+func NewPipeline(s *csi.Series, cfg Config) (*Pipeline, error) {
+	if cfg.Array == nil {
+		return nil, fmt.Errorf("core: Config.Array is required")
+	}
+	if cfg.Array.NumAntennas() != s.NumAnts {
+		return nil, fmt.Errorf("core: array has %d antennas but series has %d",
+			cfg.Array.NumAntennas(), s.NumAnts)
+	}
+	if cfg.WindowSeconds <= 0 {
+		cfg.WindowSeconds = 0.5
+	}
+	if cfg.V <= 0 {
+		cfg.V = 30
+	}
+	if cfg.MinSegmentSeconds <= 0 {
+		cfg.MinSegmentSeconds = 0.25
+	}
+	if cfg.HeadingWindowSeconds <= 0 {
+		cfg.HeadingWindowSeconds = 0.8
+	}
+	if cfg.RotationMinRingFrac <= 0 {
+		cfg.RotationMinRingFrac = 0.8
+	}
+	if cfg.SpeedSmoothHalf <= 0 {
+		cfg.SpeedSmoothHalf = int(s.Rate / 20)
+	}
+	p := &Pipeline{cfg: cfg, eng: trrs.NewEngine(s)}
+	p.w = int(math.Round(cfg.WindowSeconds * s.Rate))
+	if p.w < 3 {
+		p.w = 3
+	}
+
+	// Base matrices are shared between translation groups and the
+	// rotation ring.
+	cache := map[[2]int]*trrs.Matrix{}
+	baseFor := func(i, j int) *trrs.Matrix {
+		if m, ok := cache[[2]int{i, j}]; ok {
+			return m
+		}
+		m := p.eng.BaseMatrix(i, j, p.w)
+		cache[[2]int{i, j}] = m
+		return m
+	}
+
+	angTol := geom.Rad(2)
+	for _, g := range cfg.Array.ParallelGroups(angTol, 1e-6) {
+		var ms []*trrs.Matrix
+		for _, pr := range g.Pairs {
+			ms = append(ms, baseFor(pr.I, pr.J))
+			if cfg.DisablePairAveraging {
+				break
+			}
+		}
+		avg := trrs.AverageMatrices(ms...)
+		p.groups = append(p.groups, groupMatrix{group: g, m: trrs.VirtualMassive(avg, cfg.V)})
+	}
+	if cfg.Array.NumAntennas() >= 4 {
+		for _, pr := range cfg.Array.AdjacentRing() {
+			base := baseFor(pr.I, pr.J)
+			p.ring = append(p.ring, groupMatrix{
+				group: array.ParallelGroup{
+					Pairs:      []array.Pair{pr},
+					Direction:  cfg.Array.Direction(pr),
+					Separation: cfg.Array.Separation(pr),
+				},
+				m: trrs.VirtualMassive(base, cfg.V),
+			})
+		}
+	}
+	return p, nil
+}
+
+// Engine exposes the underlying TRRS engine (used by applications that need
+// raw alignment matrices, e.g. gesture recognition).
+func (p *Pipeline) Engine() *trrs.Engine { return p.eng }
+
+// Window returns the one-sided lag window in slots.
+func (p *Pipeline) Window() int { return p.w }
+
+// NumGroups returns the number of parallel-isometric pair groups.
+func (p *Pipeline) NumGroups() int { return len(p.groups) }
+
+// Group returns the i-th pair group and its averaged alignment matrix
+// (diagnostics and experiments).
+func (p *Pipeline) Group(i int) (array.ParallelGroup, *trrs.Matrix) {
+	return p.groups[i].group, p.groups[i].m
+}
+
+// GroupMatrix returns the averaged alignment matrix of the group whose
+// direction is closest to bodyDir (radians, mod π).
+func (p *Pipeline) GroupMatrix(bodyDir float64) (*trrs.Matrix, array.ParallelGroup) {
+	best, bi := math.Inf(1), 0
+	for i, gm := range p.groups {
+		d := geom.AbsAngleDiff(gm.group.Direction, bodyDir)
+		if d > math.Pi/2 {
+			d = math.Pi - d
+		}
+		if d < best {
+			best, bi = d, i
+		}
+	}
+	return p.groups[bi].m, p.groups[bi].group
+}
+
+// Process runs the full pipeline and returns per-slot and per-segment
+// motion estimates.
+func (p *Pipeline) Process() *Result {
+	rate := p.eng.Rate()
+	slots := p.eng.NumSlots()
+	res := &Result{Rate: rate}
+	res.MovementIndicator = align.MovementIndicator(p.eng, p.cfg.Movement)
+	moving := align.ThresholdWithHysteresis(res.MovementIndicator, p.cfg.Movement)
+	p.moving = moving
+	release := p.cfg.Movement.ReleaseThreshold
+	if release < p.cfg.Movement.Threshold {
+		release = p.cfg.Movement.Threshold
+	}
+	p.movingSoft = make([]bool, len(res.MovementIndicator))
+	for t, v := range res.MovementIndicator {
+		p.movingSoft[t] = v < release
+	}
+	fastCfg := p.cfg.Movement
+	fastCfg.SlowLagSeconds = 0
+	p.fastInd = align.MovementIndicator(p.eng, fastCfg)
+	res.Estimates = make([]Estimate, slots)
+	dt := 1 / rate
+	for t := range res.Estimates {
+		res.Estimates[t] = Estimate{T: float64(t) * dt, HeadingBody: math.NaN()}
+	}
+
+	minLen := int(p.cfg.MinSegmentSeconds * rate)
+	segs := align.Segments(moving, minLen, int(0.3*rate))
+	// Trim each segment to the region where the indicator actually hit
+	// the trigger level (plus a short pad): when the device stops in a
+	// low-SNR spot the indicator may never climb back above the release
+	// level, which would otherwise glue a long static tail onto the
+	// segment and starve its final heading window.
+	pad := int(0.08 * rate)
+	indSm := sigproc.MedianFilter(res.MovementIndicator, 5)
+	for si := range segs {
+		start, end := segs[si][0], segs[si][1]
+		for end-1 > start && indSm[end-1] >= p.cfg.Movement.Threshold {
+			end--
+		}
+		end += pad
+		if end > segs[si][1] {
+			end = segs[si][1]
+		}
+		if end-start >= minLen {
+			segs[si][1] = end
+		}
+	}
+	// Split segments at sustained trigger-level-static runs: when the
+	// device stops in a channel fade the indicator can sit between the
+	// trigger and release levels, gluing two motions into one segment.
+	// Genuine motion never holds the indicator above the trigger level
+	// for long, so a ≥0.4 s run there marks an interior idle.
+	segs = splitAtInteriorIdles(segs, indSm, p.cfg.Movement.Threshold, int(0.4*rate), minLen)
+	for _, seg := range segs {
+		sr := p.processSegment(seg[0], seg[1], res)
+		res.Segments = append(res.Segments, sr)
+		switch sr.Kind {
+		case MotionTranslate:
+			res.Distance += sr.Distance
+		case MotionRotate:
+			res.RotationAngle += math.Abs(sr.Angle)
+		}
+	}
+	return res
+}
+
+// ProcessSeries is the one-call convenience: build a pipeline and process.
+func ProcessSeries(s *csi.Series, cfg Config) (*Result, error) {
+	p, err := NewPipeline(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Process(), nil
+}
+
+// splitAtInteriorIdles cuts each segment wherever the (median-smoothed)
+// movement indicator stays at or above the trigger threshold for at least
+// idleLen consecutive slots; sub-segments shorter than minLen are dropped.
+func splitAtInteriorIdles(segs [][2]int, indSm []float64, threshold float64, idleLen, minLen int) [][2]int {
+	if idleLen < 1 {
+		return segs
+	}
+	var out [][2]int
+	for _, seg := range segs {
+		start := seg[0]
+		i := seg[0]
+		for i < seg[1] {
+			if indSm[i] < threshold {
+				i++
+				continue
+			}
+			j := i
+			for j < seg[1] && indSm[j] >= threshold {
+				j++
+			}
+			if j-i >= idleLen {
+				if i-start >= minLen {
+					out = append(out, [2]int{start, i})
+				}
+				start = j
+			}
+			i = j
+		}
+		if seg[1]-start >= minLen {
+			out = append(out, [2]int{start, seg[1]})
+		}
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math"
+
+	"rim/internal/geom"
+	"rim/internal/sigproc"
+)
+
+// refineHeading implements the §7 "angle resolution" extension: the TRRS
+// alignment peak weakens as the motion deviates from a pair group's axis,
+// so comparing the winning group's alignment quality with that of its two
+// angularly adjacent groups locates the true heading inside the discrete
+// direction bin. Each group's quality is its (floor-normalized) TRRS at the
+// lag where it would align given the winner's speed — evaluating at the
+// physically expected delay keeps junk ridges out of the comparison. A
+// parabola through the three qualities over axis angle gives the offset,
+// clamped to half the bin.
+//
+// The offset is defined on the group axis (mod π); the caller applies it
+// before resolving the ±π lag-sign ambiguity.
+func (p *Pipeline) refineHeading(best *candidate, w0, w1 int) float64 {
+	med := best.track.MedianLag()
+	if math.Abs(med) < 1 {
+		return 0
+	}
+	// Implied speed and lag sign of the winner.
+	dt := 1 / p.eng.Rate()
+	speed := best.gm.group.Separation / (math.Abs(med) * dt)
+	sign := 1.0
+	if med < 0 {
+		sign = -1
+	}
+	dir := best.gm.group.Direction
+	giMinus, giPlus, step, ok := p.neighborGroups(dir)
+	if !ok {
+		return 0
+	}
+	q0 := p.qualityAtSpeed(bestIndexOf(p, best), speed, sign, w0, w1)
+	qMinus := p.qualityAtSpeed(giMinus, speed, sign, w0, w1)
+	qPlus := p.qualityAtSpeed(giPlus, speed, sign, w0, w1)
+	den := qMinus - 2*q0 + qPlus
+	if den >= 0 {
+		// The winner is not a local quality maximum over angle — the
+		// neighbours carry no usable gradient.
+		return 0
+	}
+	delta := 0.5 * (qMinus - qPlus) / den * step
+	limit := step / 2
+	if delta > limit {
+		delta = limit
+	} else if delta < -limit {
+		delta = -limit
+	}
+	return delta
+}
+
+// bestIndexOf locates the group index of a candidate (groups are few).
+func bestIndexOf(p *Pipeline, c *candidate) int {
+	for gi := range p.groups {
+		if p.groups[gi].m == c.gm.m {
+			return gi
+		}
+	}
+	return -1
+}
+
+// neighborGroups finds the pair groups angularly adjacent to dir, one on
+// each side and symmetric in axis angle.
+func (p *Pipeline) neighborGroups(dir float64) (giMinus, giPlus int, step float64, ok bool) {
+	giMinus, giPlus = -1, -1
+	var offMinus, offPlus float64
+	for gi := range p.groups {
+		g := p.groups[gi].group
+		off := geom.AngleDiff(g.Direction, dir)
+		// Fold to the axis (mod π).
+		if off > math.Pi/2 {
+			off -= math.Pi
+		} else if off < -math.Pi/2 {
+			off += math.Pi
+		}
+		if math.Abs(off) < 1e-6 {
+			continue
+		}
+		// Prefer the angularly nearest group; among groups at the same
+		// offset prefer the smallest separation — its deviation tolerance
+		// arcsin(0.2λ/Δd) is the widest, so it carries gradient signal
+		// furthest into the bin.
+		if off < 0 {
+			if giMinus < 0 || off > offMinus+1e-9 ||
+				(math.Abs(off-offMinus) < 1e-9 && p.groups[gi].group.Separation < p.groups[giMinus].group.Separation) {
+				giMinus, offMinus = gi, off
+			}
+		} else {
+			if giPlus < 0 || off < offPlus-1e-9 ||
+				(math.Abs(off-offPlus) < 1e-9 && p.groups[gi].group.Separation < p.groups[giPlus].group.Separation) {
+				giPlus, offPlus = gi, off
+			}
+		}
+	}
+	if giMinus < 0 || giPlus < 0 {
+		return 0, 0, 0, false
+	}
+	if math.Abs(offMinus+offPlus) > geom.Rad(5) {
+		// Asymmetric bracket (irregular direction set): no refinement.
+		return 0, 0, 0, false
+	}
+	return giMinus, giPlus, offPlus, true
+}
+
+// qualityAtSpeed returns group gi's floor-normalized mean TRRS at the lag
+// its separation implies for the given speed and lag sign, over [w0, w1).
+func (p *Pipeline) qualityAtSpeed(gi int, speed, sign float64, w0, w1 int) float64 {
+	if gi < 0 || speed <= 0 {
+		return 0
+	}
+	gm := p.groups[gi]
+	m := gm.m
+	dt := 1 / p.eng.Rate()
+	lag := int(math.Round(gm.group.Separation / (speed * dt) * sign))
+	if w1 > m.NumSlots() {
+		w1 = m.NumSlots()
+	}
+	var at, floor []float64
+	for t := w0; t < w1; t += 2 {
+		if t < 0 {
+			continue
+		}
+		at = append(at, m.At(t, lag))
+		row := m.Vals[t]
+		for c := 0; c < len(row); c += 7 {
+			floor = append(floor, row[c])
+		}
+	}
+	if len(at) == 0 {
+		return 0
+	}
+	return sigproc.Mean(at) - sigproc.Median(floor)
+}

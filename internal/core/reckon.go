@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math"
+
+	"rim/internal/geom"
+)
+
+// ReckonedPoint is one point of a dead-reckoned trajectory.
+type ReckonedPoint struct {
+	T    float64
+	Pose geom.Pose
+}
+
+// Reckon integrates the per-slot estimates into a world-frame trajectory,
+// given the initial body pose (RIM is a relative tracker: absolute position
+// and orientation come from the caller, exactly as in the paper's tracking
+// demos). Translation advances the position along the body-frame heading
+// rotated into the world; rotation advances the body orientation.
+func (r *Result) Reckon(initial geom.Pose) []ReckonedPoint {
+	out := make([]ReckonedPoint, 0, len(r.Estimates))
+	pose := initial
+	dt := 1 / r.Rate
+	for _, e := range r.Estimates {
+		switch e.Kind {
+		case MotionTranslate:
+			if !math.IsNaN(e.HeadingBody) {
+				world := pose.DirToWorld(e.HeadingBody)
+				pose.Pos = pose.Pos.Add(geom.FromPolar(e.Speed*dt, world))
+			}
+		case MotionRotate:
+			pose.Theta = geom.NormalizeAngle(pose.Theta + e.AngVel*dt)
+		}
+		out = append(out, ReckonedPoint{T: e.T, Pose: pose})
+	}
+	return out
+}
+
+// ReckonPositions is Reckon reduced to the position sequence.
+func (r *Result) ReckonPositions(initial geom.Pose) []geom.Vec2 {
+	pts := r.Reckon(initial)
+	out := make([]geom.Vec2, len(pts))
+	for i, p := range pts {
+		out[i] = p.Pose.Pos
+	}
+	return out
+}
+
+// SegmentsOfKind filters the segment summaries by kind.
+func (r *Result) SegmentsOfKind(k MotionKind) []SegmentResult {
+	var out []SegmentResult
+	for _, s := range r.Segments {
+		if s.Kind == k {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SpeedSeries returns the per-slot speed estimates.
+func (r *Result) SpeedSeries() []float64 {
+	out := make([]float64, len(r.Estimates))
+	for i, e := range r.Estimates {
+		out[i] = e.Speed
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"rim/internal/csi"
+)
+
+// StreamConfig parameterizes the real-time wrapper.
+type StreamConfig struct {
+	// Core is the pipeline configuration.
+	Core Config
+	// SpanSeconds is the sliding analysis window the pipeline reruns over
+	// (default 4 s). It must comfortably exceed the lag window plus the
+	// longest structure of interest (a movement segment boundary).
+	SpanSeconds float64
+	// HopSeconds is how often the window is re-analyzed (default 0.5 s):
+	// the latency/CPU trade-off. Estimates are finalized once they are
+	// older than the guard region, so output latency is roughly
+	// Core.WindowSeconds + HopSeconds.
+	HopSeconds float64
+}
+
+// Streamer is the incremental (real-time) front end of the pipeline, the
+// equivalent of the paper's §5 C++ online system: CSI snapshots are pushed
+// one packet at a time and finalized per-slot estimates come back with
+// bounded latency. Internally it reruns the batch pipeline over a sliding
+// window — one rerun costs a few milliseconds (see
+// BenchmarkComplexityFullPipeline), far below the packet budget.
+type Streamer struct {
+	cfg     StreamConfig
+	rate    float64
+	numAnts int
+	numTx   int
+	numSub  int
+
+	span, hop, guard int
+	// buf[ant][tx] holds the windowed snapshots.
+	buf [][][][]complex128
+	// dropped counts slots discarded from the front of buf.
+	dropped int
+	// finalized is the absolute slot index up to which estimates have
+	// been emitted.
+	finalized int
+	// pending counts slots accumulated since the last analysis.
+	pending int
+}
+
+// NewStreamer builds a streaming pipeline for CSI with the given shape.
+// rate is the packet rate in Hz.
+func NewStreamer(cfg StreamConfig, rate float64, numAnts, numTx, numSub int) (*Streamer, error) {
+	if cfg.Core.Array == nil {
+		return nil, fmt.Errorf("core: StreamConfig.Core.Array is required")
+	}
+	if cfg.Core.Array.NumAntennas() != numAnts {
+		return nil, fmt.Errorf("core: array has %d antennas but stream has %d",
+			cfg.Core.Array.NumAntennas(), numAnts)
+	}
+	if cfg.SpanSeconds <= 0 {
+		cfg.SpanSeconds = 4
+	}
+	if cfg.HopSeconds <= 0 {
+		cfg.HopSeconds = 0.5
+	}
+	w := cfg.Core.WindowSeconds
+	if w <= 0 {
+		w = 0.5
+	}
+	if cfg.SpanSeconds < 3*w {
+		cfg.SpanSeconds = 3 * w
+	}
+	st := &Streamer{
+		cfg:     cfg,
+		rate:    rate,
+		numAnts: numAnts,
+		numTx:   numTx,
+		numSub:  numSub,
+		span:    int(cfg.SpanSeconds * rate),
+		hop:     int(cfg.HopSeconds * rate),
+		guard:   int(math.Ceil(w * rate)),
+	}
+	st.buf = make([][][][]complex128, numAnts)
+	for a := range st.buf {
+		st.buf[a] = make([][][]complex128, numTx)
+	}
+	return st, nil
+}
+
+// Latency returns the worst-case output latency in seconds.
+func (st *Streamer) Latency() float64 {
+	return (float64(st.guard) + float64(st.hop)) / st.rate
+}
+
+// Push ingests one CSI snapshot (shape [ant][tx][tone], already sanitized —
+// use csi.Trace.Process or equivalent preprocessing) and returns any newly
+// finalized per-slot estimates, oldest first. The returned Estimate.T is
+// the absolute time since the stream began.
+func (st *Streamer) Push(snapshot [][][]complex128) ([]Estimate, error) {
+	if len(snapshot) != st.numAnts {
+		return nil, fmt.Errorf("core: snapshot has %d antennas, want %d", len(snapshot), st.numAnts)
+	}
+	for a := 0; a < st.numAnts; a++ {
+		if len(snapshot[a]) != st.numTx {
+			return nil, fmt.Errorf("core: snapshot antenna %d has %d tx, want %d",
+				a, len(snapshot[a]), st.numTx)
+		}
+		for tx := 0; tx < st.numTx; tx++ {
+			if len(snapshot[a][tx]) != st.numSub {
+				return nil, fmt.Errorf("core: snapshot antenna %d tx %d has %d tones, want %d",
+					a, tx, len(snapshot[a][tx]), st.numSub)
+			}
+			st.buf[a][tx] = append(st.buf[a][tx], snapshot[a][tx])
+		}
+	}
+	st.pending++
+	if st.pending < st.hop || st.bufLen() < st.guard*2 {
+		return nil, nil
+	}
+	st.pending = 0
+	return st.analyze(false), nil
+}
+
+// Flush finalizes everything buffered (end of stream).
+func (st *Streamer) Flush() []Estimate {
+	if st.bufLen() == 0 {
+		return nil
+	}
+	return st.analyze(true)
+}
+
+func (st *Streamer) bufLen() int { return len(st.buf[0][0]) }
+
+// analyze reruns the batch pipeline over the buffered window and emits the
+// estimates between the finalized frontier and the guard region (or the
+// end, when flushing).
+func (st *Streamer) analyze(flush bool) []Estimate {
+	n := st.bufLen()
+	s := &csi.Series{
+		Rate:    st.rate,
+		NumAnts: st.numAnts,
+		NumTx:   st.numTx,
+		NumSub:  st.numSub,
+		H:       st.buf,
+		Missing: make([][]bool, st.numAnts),
+	}
+	for a := range s.Missing {
+		s.Missing[a] = make([]bool, n)
+	}
+	res, err := ProcessSeries(s, st.cfg.Core)
+	if err != nil {
+		return nil
+	}
+	upTo := n - st.guard
+	if flush {
+		upTo = n
+	}
+	var out []Estimate
+	dt := 1 / st.rate
+	for local := st.finalized - st.dropped; local < upTo; local++ {
+		if local < 0 || local >= len(res.Estimates) {
+			continue
+		}
+		e := res.Estimates[local]
+		e.T = float64(st.dropped+local) * dt
+		out = append(out, e)
+	}
+	if upTo > st.finalized-st.dropped {
+		st.finalized = st.dropped + upTo
+	}
+	// Trim the buffer to the span, but never past the finalized frontier
+	// minus the guard (the next analysis still needs context).
+	excess := n - st.span
+	if keepFrom := st.finalized - st.dropped - 2*st.guard; excess > keepFrom {
+		excess = keepFrom
+	}
+	if excess > 0 {
+		for a := range st.buf {
+			for tx := range st.buf[a] {
+				st.buf[a][tx] = st.buf[a][tx][excess:]
+			}
+		}
+		st.dropped += excess
+	}
+	return out
+}
+
+// StreamSeries is a convenience that replays a processed Series through a
+// Streamer (testing and offline "as-if-live" analysis).
+func StreamSeries(s *csi.Series, cfg StreamConfig) ([]Estimate, error) {
+	st, err := NewStreamer(cfg, s.Rate, s.NumAnts, s.NumTx, s.NumSub)
+	if err != nil {
+		return nil, err
+	}
+	var out []Estimate
+	snap := make([][][]complex128, s.NumAnts)
+	for a := range snap {
+		snap[a] = make([][]complex128, s.NumTx)
+	}
+	for t := 0; t < s.NumSlots(); t++ {
+		for a := 0; a < s.NumAnts; a++ {
+			for tx := 0; tx < s.NumTx; tx++ {
+				snap[a][tx] = s.H[a][tx][t]
+			}
+		}
+		es, err := st.Push(snap)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, es...)
+	}
+	return append(out, st.Flush()...), nil
+}

@@ -1,0 +1,381 @@
+// Package csi models CSI acquisition on commodity WiFi receivers: an AP
+// broadcasting sequence-numbered packets at a fixed rate, one or two
+// receiver NICs measuring the per-subcarrier channel for each of their
+// antennas with realistic phase impairments (CFO/SFO/STO, per-packet PLL
+// phase), additive noise and packet loss, plus the preprocessing RIM applies
+// before TRRS: packet-level cross-NIC synchronization by sequence number,
+// null-CSI interpolation, and linear phase sanitization.
+package csi
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rim/internal/array"
+	"rim/internal/geom"
+	"rim/internal/rf"
+	"rim/internal/sigproc"
+	"rim/internal/traj"
+)
+
+// ReceiverConfig describes the measurement imperfections of the NICs.
+// The zero value means an ideal receiver (no noise, loss or phase errors).
+type ReceiverConfig struct {
+	// SNRdB is the per-subcarrier signal-to-noise ratio. <= 0 disables
+	// noise. Commodity CSI sits around 20-30 dB.
+	SNRdB float64
+	// LossProb is the per-packet, per-NIC loss probability.
+	LossProb float64
+	// CFOMaxHz bounds the per-NIC residual carrier frequency offset; each
+	// NIC draws its offset uniformly from [-CFOMaxHz, CFOMaxHz]. The CFO
+	// appears as a time-varying common phase on every measurement.
+	CFOMaxHz float64
+	// STOSlopeMax bounds the per-packet linear phase slope (radians per
+	// subcarrier) from symbol-timing and sampling-frequency offsets.
+	STOSlopeMax float64
+	// PLLPhase enables a uniformly random common phase per packet per NIC
+	// (the initial phase offset eliminated by |·| in TRRS).
+	PLLPhase bool
+	// ChainRippleDB is the amplitude of a mild per-chain frequency ripple
+	// modeling hardware heterogeneity between antennas.
+	ChainRippleDB float64
+	// Seed drives all receiver randomness.
+	Seed int64
+}
+
+// RealisticReceiver returns impairments typical of the paper's hardware.
+func RealisticReceiver(seed int64) ReceiverConfig {
+	return ReceiverConfig{
+		SNRdB:         25,
+		LossProb:      0.02,
+		CFOMaxHz:      500,
+		STOSlopeMax:   0.06,
+		PLLPhase:      true,
+		ChainRippleDB: 0.5,
+		Seed:          seed,
+	}
+}
+
+// Frame is the CSI of one received packet on one NIC: H[localAnt][tx][k].
+type Frame struct {
+	Seq int
+	T   float64
+	H   [][][]complex128
+}
+
+// Trace is the raw, sequence-aligned recording of a motion: one slot per
+// broadcast packet and per NIC; lost packets leave nil frames (the "null
+// CSI" of §5).
+type Trace struct {
+	Rate    float64
+	NumAnts int // total antennas across NICs
+	NumTx   int
+	NumSub  int
+	NumNICs int
+	// frames[nic][slot] is nil when that NIC lost the packet.
+	frames [][]*Frame
+	// antNIC maps global antenna index -> (nic, local index).
+	antNIC   []int
+	antLocal []int
+}
+
+// NumSlots returns the number of broadcast packets (time slots).
+func (t *Trace) NumSlots() int {
+	if t.NumNICs == 0 {
+		return 0
+	}
+	return len(t.frames[0])
+}
+
+// LossRate returns the fraction of (nic, slot) frames lost.
+func (t *Trace) LossRate() float64 {
+	total, lost := 0, 0
+	for _, nic := range t.frames {
+		for _, f := range nic {
+			total++
+			if f == nil {
+				lost++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(lost) / float64(total)
+}
+
+// nicLayout inspects the array and returns the per-NIC local antenna lists.
+func nicLayout(arr *array.Array) (numNICs int, antNIC, antLocal []int) {
+	counts := map[int]int{}
+	for _, ant := range arr.Antennas {
+		if ant.NIC >= numNICs {
+			numNICs = ant.NIC + 1
+		}
+		antNIC = append(antNIC, ant.NIC)
+		antLocal = append(antLocal, counts[ant.NIC])
+		counts[ant.NIC]++
+	}
+	return numNICs, antNIC, antLocal
+}
+
+// Collect simulates the full acquisition of one motion: for every trajectory
+// sample the AP broadcasts one packet; every NIC that receives it measures
+// the physical CFR at each of its antennas' world positions and corrupts it
+// with its own impairments. The trajectory's sample rate is the packet rate.
+func Collect(env *rf.Environment, arr *array.Array, tr *traj.Trajectory, cfg ReceiverConfig) *Trace {
+	rcfg := env.Config()
+	numNICs, antNIC, antLocal := nicLayout(arr)
+	out := &Trace{
+		Rate:     tr.Rate,
+		NumAnts:  arr.NumAntennas(),
+		NumTx:    rcfg.NumTxAntennas,
+		NumSub:   rcfg.NumSubcarriers,
+		NumNICs:  numNICs,
+		frames:   make([][]*Frame, numNICs),
+		antNIC:   antNIC,
+		antLocal: antLocal,
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Per-NIC static state.
+	cfo := make([]float64, numNICs)
+	for n := range cfo {
+		cfo[n] = (rng.Float64()*2 - 1) * cfg.CFOMaxHz
+	}
+	// Per-chain complex gain and frequency ripple (hardware heterogeneity).
+	localCount := make([]int, numNICs)
+	for i := range arr.Antennas {
+		localCount[antNIC[i]]++
+	}
+	chainGain := make([][]complex128, arr.NumAntennas())
+	for a := range chainGain {
+		chainGain[a] = make([]complex128, rcfg.NumSubcarriers)
+		base := cmplxFromPolar(0.8+0.4*rng.Float64(), rng.Float64()*2*math.Pi)
+		ripAmp := cfg.ChainRippleDB * (rng.Float64()*2 - 1)
+		ripPhase := rng.Float64() * 2 * math.Pi
+		for k := range chainGain[a] {
+			rip := math.Pow(10, ripAmp*math.Sin(2*math.Pi*float64(k)/float64(rcfg.NumSubcarriers)+ripPhase)/20)
+			chainGain[a][k] = base * complex(rip, 0)
+		}
+	}
+
+	// Estimate the mean signal amplitude once (for the noise floor): probe
+	// the first trajectory sample.
+	noiseStd := 0.0
+	if cfg.SNRdB > 0 && len(tr.Samples) > 0 {
+		probe := env.SnapshotAll(tr.Samples[0].Pose.ToWorld(arr.Antennas[0].Pos), 0)
+		var p float64
+		for _, h := range probe {
+			p += sigproc.Energy(h)
+		}
+		p /= float64(len(probe) * rcfg.NumSubcarriers)
+		noiseStd = math.Sqrt(p*math.Pow(10, -cfg.SNRdB/10)) / math.Sqrt2
+	}
+
+	for n := 0; n < numNICs; n++ {
+		out.frames[n] = make([]*Frame, len(tr.Samples))
+	}
+	h := make([]complex128, rcfg.NumSubcarriers)
+	var worldPos []geom.Vec2
+	for slot, s := range tr.Samples {
+		worldPos = arr.WorldPositions(s.Pose, worldPos)
+		// Physical channel for every (ant, tx) at this instant.
+		phys := make([][][]complex128, arr.NumAntennas())
+		for a := 0; a < arr.NumAntennas(); a++ {
+			phys[a] = make([][]complex128, rcfg.NumTxAntennas)
+			for tx := 0; tx < rcfg.NumTxAntennas; tx++ {
+				env.CFR(worldPos[a], tx, s.T, h)
+				v := make([]complex128, len(h))
+				copy(v, h)
+				phys[a][tx] = v
+			}
+		}
+		for n := 0; n < numNICs; n++ {
+			if cfg.LossProb > 0 && rng.Float64() < cfg.LossProb {
+				continue // packet lost on this NIC
+			}
+			// Per-packet NIC-wide phase state.
+			common := 2 * math.Pi * cfo[n] * s.T
+			if cfg.PLLPhase {
+				common += rng.Float64() * 2 * math.Pi
+			}
+			slope := 0.0
+			if cfg.STOSlopeMax > 0 {
+				slope = (rng.Float64()*2 - 1) * cfg.STOSlopeMax
+			}
+			f := &Frame{Seq: slot, T: s.T, H: make([][][]complex128, localCount[n])}
+			for a := 0; a < arr.NumAntennas(); a++ {
+				if antNIC[a] != n {
+					continue
+				}
+				la := antLocal[a]
+				f.H[la] = make([][]complex128, rcfg.NumTxAntennas)
+				for tx := 0; tx < rcfg.NumTxAntennas; tx++ {
+					v := make([]complex128, rcfg.NumSubcarriers)
+					for k := range v {
+						v[k] = phys[a][tx][k] * chainGain[a][k]
+						if noiseStd > 0 {
+							v[k] += complex(rng.NormFloat64()*noiseStd, rng.NormFloat64()*noiseStd)
+						}
+					}
+					sigproc.ApplyPhaseRamp(v, common, slope)
+					f.H[la][tx] = v
+				}
+			}
+			out.frames[n][slot] = f
+		}
+	}
+	return out
+}
+
+func cmplxFromPolar(r, th float64) complex128 {
+	s, c := math.Sincos(th)
+	return complex(r*c, r*s)
+}
+
+// toneSlope estimates the linear phase slope across tones (radians per
+// tone) as the phase of the lag-1 tone autocorrelation Σ_k H[k+1]·H*[k] —
+// a power-weighted, unwrapping-free delay estimate.
+func toneSlope(v []complex128) float64 {
+	var re, im float64
+	for k := 1; k < len(v); k++ {
+		a, b := v[k], v[k-1]
+		// a * conj(b)
+		re += real(a)*real(b) + imag(a)*imag(b)
+		im += imag(a)*real(b) - real(a)*imag(b)
+	}
+	return math.Atan2(im, re)
+}
+
+// Series is the preprocessed, analysis-ready CSI stream: synchronized
+// across NICs by sequence number, gaps interpolated, phases sanitized.
+// Layout H[ant][tx][slot] is a per-subcarrier vector, chosen so the TRRS
+// inner loops stream contiguously in time.
+type Series struct {
+	Rate    float64
+	NumAnts int
+	NumTx   int
+	NumSub  int
+	H       [][][][]complex128
+	// Missing[ant][slot] marks slots whose frame was interpolated.
+	Missing [][]bool
+}
+
+// NumSlots returns the number of time slots.
+func (s *Series) NumSlots() int {
+	if s.NumAnts == 0 || s.NumTx == 0 {
+		return 0
+	}
+	return len(s.H[0][0])
+}
+
+// Dt returns the sampling interval in seconds.
+func (s *Series) Dt() float64 { return 1 / s.Rate }
+
+// Process converts a raw trace into a Series: cross-NIC packet
+// synchronization is implicit (frames are already slot-indexed by the
+// broadcast sequence number), lost frames are linearly interpolated, and
+// when sanitize is true the SFO/STO-induced linear phase errors are
+// calibrated out (the [13]-style sanitization the paper applies before
+// computing TRRS).
+//
+// Sanitization detail: the per-packet linear phase slope across tones is
+// the sum of the channel's bulk-delay slope (spatial information TRRS
+// needs) and the receiver's timing jitter. Removing the whole fit would
+// erase the bulk delay and flatten the TRRS spatial decay, so Process
+// removes only the *deviation* of each packet's slope from a 1-second
+// running median: the channel slope varies negligibly within that window
+// (TRRS only ever compares snapshots taken within ~0.5 s), while the
+// per-packet jitter is zero-mean around it. The per-packet common phase
+// (CFO/PLL) is removed entirely; TRRS is invariant to it anyway.
+func (t *Trace) Process(sanitize bool) (*Series, error) {
+	slots := t.NumSlots()
+	if slots == 0 {
+		return nil, fmt.Errorf("csi: empty trace")
+	}
+	s := &Series{
+		Rate:    t.Rate,
+		NumAnts: t.NumAnts,
+		NumTx:   t.NumTx,
+		NumSub:  t.NumSub,
+		H:       make([][][][]complex128, t.NumAnts),
+		Missing: make([][]bool, t.NumAnts),
+	}
+	for a := 0; a < t.NumAnts; a++ {
+		nic, la := t.antNIC[a], t.antLocal[a]
+		s.H[a] = make([][][]complex128, t.NumTx)
+		s.Missing[a] = make([]bool, slots)
+		for tx := 0; tx < t.NumTx; tx++ {
+			seq := make([][]complex128, slots)
+			for slot := 0; slot < slots; slot++ {
+				f := t.frames[nic][slot]
+				if f == nil {
+					s.Missing[a][slot] = true
+					continue
+				}
+				seq[slot] = f.H[la][tx]
+			}
+			filled := sigproc.InterpolateMissing(seq)
+			if filled[0] == nil {
+				return nil, fmt.Errorf("csi: NIC %d lost every packet", nic)
+			}
+			if sanitize {
+				// First pass: estimate each packet's linear phase slope
+				// across tones from the lag-1 tone autocorrelation —
+				// the standard delay estimator. Unlike an unwrap-and-fit,
+				// it cannot glitch in deep band fades.
+				slopes := make([]float64, slots)
+				for slot := range filled {
+					slopes[slot] = toneSlope(filled[slot])
+				}
+				// Running median slope over ~1 s isolates the per-packet
+				// jitter from the (slowly varying) channel bulk delay.
+				half := int(t.Rate / 2)
+				if half < 1 {
+					half = 1
+				}
+				medSlopes := sigproc.MedianFilter(slopes, half)
+				for slot := range filled {
+					// Copy before correcting: interpolation may alias
+					// neighbouring slots on loss-free traces.
+					v := make([]complex128, len(filled[slot]))
+					copy(v, filled[slot])
+					sigproc.ApplyPhaseRamp(v, 0, -(slopes[slot] - medSlopes[slot]))
+					filled[slot] = v
+				}
+			}
+			s.H[a][tx] = filled
+		}
+	}
+	return s, nil
+}
+
+// Downsample returns a new Series keeping every factor-th slot — the
+// sampling-rate study of Fig. 16. factor <= 1 returns the receiver itself.
+func (s *Series) Downsample(factor int) *Series {
+	if factor <= 1 {
+		return s
+	}
+	slots := s.NumSlots()
+	out := &Series{
+		Rate:    s.Rate / float64(factor),
+		NumAnts: s.NumAnts,
+		NumTx:   s.NumTx,
+		NumSub:  s.NumSub,
+		H:       make([][][][]complex128, s.NumAnts),
+		Missing: make([][]bool, s.NumAnts),
+	}
+	for a := 0; a < s.NumAnts; a++ {
+		out.H[a] = make([][][]complex128, s.NumTx)
+		for tx := 0; tx < s.NumTx; tx++ {
+			for slot := 0; slot < slots; slot += factor {
+				out.H[a][tx] = append(out.H[a][tx], s.H[a][tx][slot])
+			}
+		}
+		for slot := 0; slot < slots; slot += factor {
+			out.Missing[a] = append(out.Missing[a], s.Missing[a][slot])
+		}
+	}
+	return out
+}

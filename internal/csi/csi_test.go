@@ -1,0 +1,236 @@
+package csi
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"rim/internal/array"
+	"rim/internal/geom"
+	"rim/internal/rf"
+	"rim/internal/sigproc"
+	"rim/internal/traj"
+)
+
+func testEnv() *rf.Environment {
+	cfg := rf.FastConfig()
+	return rf.NewEnvironment(cfg, geom.Vec2{}, geom.Vec2{X: 10, Y: 0}, nil)
+}
+
+func shortTraj(rate float64) *traj.Trajectory {
+	return traj.Line(rate, geom.Vec2{X: 10, Y: 0}, 0, 0, 0.3, 0.5)
+}
+
+func trrs(a, b []complex128) float64 {
+	ip := cmplx.Abs(sigproc.InnerProduct(a, b))
+	return ip * ip / (sigproc.Energy(a) * sigproc.Energy(b))
+}
+
+func TestCollectIdealReceiver(t *testing.T) {
+	env := testEnv()
+	arr := array.NewLinear3(0.029)
+	tr := shortTraj(100)
+	trace := Collect(env, arr, tr, ReceiverConfig{})
+	if trace.NumSlots() != len(tr.Samples) {
+		t.Fatalf("slots = %d, want %d", trace.NumSlots(), len(tr.Samples))
+	}
+	if trace.LossRate() != 0 {
+		t.Errorf("ideal receiver lost packets: %v", trace.LossRate())
+	}
+	s, err := trace.Process(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSlots() != len(tr.Samples) || s.NumAnts != 3 {
+		t.Fatalf("series shape: slots=%d ants=%d", s.NumSlots(), s.NumAnts)
+	}
+	if s.Dt() != 0.01 {
+		t.Errorf("dt = %v", s.Dt())
+	}
+}
+
+func TestCollectDeterministic(t *testing.T) {
+	env := testEnv()
+	arr := array.NewLinear3(0.029)
+	tr := shortTraj(100)
+	cfg := RealisticReceiver(5)
+	s1, err1 := Collect(env, arr, tr, cfg).Process(true)
+	s2, err2 := Collect(env, arr, tr, cfg).Process(true)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for k := range s1.H[0][0][0] {
+		if s1.H[0][0][0][k] != s2.H[0][0][0][k] {
+			t.Fatal("same seed must reproduce identical CSI")
+		}
+	}
+}
+
+func TestPacketLossAndInterpolation(t *testing.T) {
+	env := testEnv()
+	arr := array.NewLinear3(0.029)
+	tr := shortTraj(100)
+	cfg := ReceiverConfig{LossProb: 0.3, Seed: 3}
+	trace := Collect(env, arr, tr, cfg)
+	if lr := trace.LossRate(); lr < 0.15 || lr > 0.45 {
+		t.Errorf("loss rate = %v, want ~0.3", lr)
+	}
+	s, err := trace.Process(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every slot must be filled after interpolation.
+	for slot := 0; slot < s.NumSlots(); slot++ {
+		if s.H[0][0][slot] == nil {
+			t.Fatalf("slot %d still nil", slot)
+		}
+	}
+	// Missing flags must reflect the lost packets.
+	missing := 0
+	for _, m := range s.Missing[0] {
+		if m {
+			missing++
+		}
+	}
+	if missing == 0 {
+		t.Error("no slots flagged missing despite loss")
+	}
+}
+
+func TestSanitizationRestoresAlignability(t *testing.T) {
+	// Hold the device still: physically the channel is constant, but STO
+	// slope jitter decorrelates raw measurements across packets. The
+	// sanitized TRRS between two packets must be much closer to 1.
+	env := testEnv()
+	arr := array.NewLinear3(0.029)
+	b := traj.NewBuilder(100, geom.Pose{Pos: geom.Vec2{X: 10, Y: 0}})
+	b.Pause(0.5)
+	tr := b.Build()
+	cfg := ReceiverConfig{STOSlopeMax: 0.08, PLLPhase: true, Seed: 11}
+	trace := Collect(env, arr, tr, cfg)
+
+	raw, err := trace.Process(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	san, err := trace.Process(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kRaw := trrs(raw.H[0][0][0], raw.H[0][0][20])
+	kSan := trrs(san.H[0][0][0], san.H[0][0][20])
+	if kSan < 0.98 {
+		t.Errorf("sanitized static TRRS = %v, want ~1", kSan)
+	}
+	if kSan <= kRaw {
+		t.Errorf("sanitization did not help: raw %v vs sanitized %v", kRaw, kSan)
+	}
+}
+
+func TestPLLPhaseInvisibleToTRRS(t *testing.T) {
+	// Per-packet random common phase must not affect TRRS (the |·| in
+	// Eq. 2 removes it).
+	env := testEnv()
+	arr := array.NewLinear3(0.029)
+	b := traj.NewBuilder(100, geom.Pose{Pos: geom.Vec2{X: 10, Y: 0}})
+	b.Pause(0.3)
+	tr := b.Build()
+	cfg := ReceiverConfig{PLLPhase: true, Seed: 4}
+	s, err := Collect(env, arr, tr, cfg).Process(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := trrs(s.H[0][0][0], s.H[0][0][10]); k < 0.999 {
+		t.Errorf("static TRRS with PLL phase = %v, want 1", k)
+	}
+}
+
+func TestTwoNICCrossAntennaConsistency(t *testing.T) {
+	// Antennas on different NICs, placed at the same world position at
+	// different times, must still produce near-1 TRRS after sanitization —
+	// that is the entire premise of cross-NIC virtual antenna alignment.
+	env := testEnv()
+	arr := array.NewHexagonal(0.029)
+	// Move along the direction from antenna 0 (NIC 0) to antenna 2
+	// (NIC 0)... use instead antennas 0 and 3 (opposite, NIC 0 and 1):
+	// direction from 0 to 3 is 180° in the body frame.
+	b := traj.NewBuilder(200, geom.Pose{Pos: geom.Vec2{X: 10, Y: 0}})
+	b.MoveBody(math.Pi, 0.3, 0.3) // antenna 0 retraces antenna 3's path
+	tr := b.Build()
+	cfg := ReceiverConfig{PLLPhase: true, STOSlopeMax: 0.05, Seed: 9}
+	s, err := Collect(env, arr, tr, cfg).Process(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Antenna 0 at time t+dt occupies antenna 3's position at time t,
+	// where dt = separation / speed. Separation = 2*0.029 (diameter).
+	dt := 2 * 0.029 / 0.3
+	lag := int(math.Round(dt * 200))
+	var kAligned, kSame float64
+	n := 0
+	for slot := lag; slot < s.NumSlots()-1; slot += 5 {
+		for tx := 0; tx < s.NumTx; tx++ {
+			kAligned += trrs(s.H[0][tx][slot], s.H[3][tx][slot-lag])
+			kSame += trrs(s.H[0][tx][slot], s.H[3][tx][slot])
+		}
+		n += s.NumTx
+	}
+	kAligned /= float64(n)
+	kSame /= float64(n)
+	if kAligned < 0.5 {
+		t.Errorf("cross-NIC aligned TRRS = %v, want high", kAligned)
+	}
+	if kAligned <= kSame+0.1 {
+		t.Errorf("aligned TRRS %v not above unaligned %v", kAligned, kSame)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	env := testEnv()
+	arr := array.NewLinear3(0.029)
+	tr := shortTraj(200)
+	s, err := Collect(env, arr, tr, ReceiverConfig{}).Process(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Downsample(4)
+	if d.Rate != 50 {
+		t.Errorf("rate = %v", d.Rate)
+	}
+	wantSlots := (s.NumSlots() + 3) / 4
+	if d.NumSlots() != wantSlots {
+		t.Errorf("slots = %d, want %d", d.NumSlots(), wantSlots)
+	}
+	// Slot 1 of the downsampled series is slot 4 of the original.
+	if d.H[0][0][1][0] != s.H[0][0][4][0] {
+		t.Error("downsample did not keep every 4th slot")
+	}
+	if s.Downsample(1) != s {
+		t.Error("factor 1 must return the receiver")
+	}
+}
+
+func TestProcessEmptyTrace(t *testing.T) {
+	tr := &Trace{NumNICs: 1, frames: [][]*Frame{{}}}
+	if _, err := tr.Process(false); err == nil {
+		t.Error("empty trace must error")
+	}
+}
+
+func TestNoiseReducesTRRS(t *testing.T) {
+	env := testEnv()
+	arr := array.NewLinear3(0.029)
+	b := traj.NewBuilder(100, geom.Pose{Pos: geom.Vec2{X: 10, Y: 0}})
+	b.Pause(0.3)
+	tr := b.Build()
+	clean, _ := Collect(env, arr, tr, ReceiverConfig{}).Process(false)
+	noisy, _ := Collect(env, arr, tr, ReceiverConfig{SNRdB: 10, Seed: 2}).Process(false)
+	kClean := trrs(clean.H[0][0][0], clean.H[0][0][10])
+	kNoisy := trrs(noisy.H[0][0][0], noisy.H[0][0][10])
+	if kNoisy >= kClean {
+		t.Errorf("noise did not reduce TRRS: %v >= %v", kNoisy, kClean)
+	}
+	if kNoisy < 0.7 {
+		t.Errorf("10 dB SNR TRRS collapsed: %v", kNoisy)
+	}
+}

@@ -1,0 +1,104 @@
+package csi
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rim/internal/array"
+	"rim/internal/geom"
+	"rim/internal/traj"
+)
+
+func TestSeriesFileRoundTrip(t *testing.T) {
+	env := testEnv()
+	arr := array.NewLinear3(0.029)
+	tr := shortTraj(100)
+	s, err := Collect(env, arr, tr, RealisticReceiver(5)).Process(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := FileMeta{Motion: "line", Array: "linear3", Seed: 5}
+	truth := []FileTruth{{T: 0, X: 10, Y: 0}}
+
+	var buf bytes.Buffer
+	if err := WriteSeries(&buf, s, meta, truth); err != nil {
+		t.Fatal(err)
+	}
+	back, ff, err := ReadSeries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff.Meta.Motion != "line" || ff.Meta.Array != "linear3" {
+		t.Errorf("meta lost: %+v", ff.Meta)
+	}
+	if len(ff.Truth) != 1 || ff.Truth[0].X != 10 {
+		t.Errorf("truth lost: %+v", ff.Truth)
+	}
+	if back.Rate != s.Rate || back.NumAnts != s.NumAnts ||
+		back.NumTx != s.NumTx || back.NumSub != s.NumSub {
+		t.Fatalf("shape mismatch: %+v", back)
+	}
+	if back.NumSlots() != s.NumSlots() {
+		t.Fatalf("slots = %d, want %d", back.NumSlots(), s.NumSlots())
+	}
+	for _, idx := range [][3]int{{0, 0, 0}, {2, 1, 5}, {1, 2, 10}} {
+		a, tx, slot := idx[0], idx[1], idx[2]
+		for k := range s.H[a][tx][slot] {
+			if s.H[a][tx][slot][k] != back.H[a][tx][slot][k] {
+				t.Fatalf("CSI value changed at a=%d tx=%d slot=%d k=%d", a, tx, slot, k)
+			}
+		}
+	}
+}
+
+func TestReadSeriesErrors(t *testing.T) {
+	if _, _, err := ReadSeries(strings.NewReader("not json")); err == nil {
+		t.Error("garbage must error")
+	}
+	// Valid JSON, empty CSI.
+	if _, _, err := ReadSeries(strings.NewReader(`{"meta":{"rate_hz":100},"csi":[]}`)); err == nil {
+		t.Error("empty CSI must error")
+	}
+	// Missing rate.
+	if _, _, err := ReadSeries(strings.NewReader(`{"meta":{},"csi":[[[[ [1,2] ]]]]}`)); err == nil {
+		t.Error("zero rate must error")
+	}
+	// Shape mismatch: meta says 2 antennas, data has 1.
+	bad := `{"meta":{"rate_hz":100,"num_antennas":2,"num_tx":1,"num_subcarriers":1},"csi":[[[[[1,2]]]]]}`
+	if _, _, err := ReadSeries(strings.NewReader(bad)); err == nil {
+		t.Error("antenna mismatch must error")
+	}
+	// Tone count mismatch.
+	bad2 := `{"meta":{"rate_hz":100,"num_antennas":1,"num_tx":1,"num_subcarriers":3},"csi":[[[[[1,2]]]]]}`
+	if _, _, err := ReadSeries(strings.NewReader(bad2)); err == nil {
+		t.Error("tone mismatch must error")
+	}
+}
+
+func TestFileSeriesPipelineCompatible(t *testing.T) {
+	// A series that went through serialization must drive the TRRS engine
+	// identically — guard against accidental layout changes.
+	env := testEnv()
+	arr := array.NewLinear3(0.029)
+	tr := traj.Line(100, geom.Vec2{X: 10}, 0, 0, 0.3, 0.5)
+	s, err := Collect(env, arr, tr, ReceiverConfig{}).Process(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSeries(&buf, s, FileMeta{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := ReadSeries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := trrsVal(s.H[0][0][0], s.H[2][0][5])
+	k2 := trrsVal(back.H[0][0][0], back.H[2][0][5])
+	if k1 != k2 {
+		t.Errorf("TRRS changed across serialization: %v vs %v", k1, k2)
+	}
+}
+
+func trrsVal(a, b []complex128) float64 { return trrs(a, b) }

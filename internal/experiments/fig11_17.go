@@ -1,0 +1,541 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"rim/internal/array"
+	"rim/internal/core"
+	"rim/internal/csi"
+	"rim/internal/geom"
+	"rim/internal/imu"
+	"rim/internal/sigproc"
+	"rim/internal/traj"
+)
+
+// runDistance collects CSI for a motion and returns |estimated − truth|
+// total translation distance in meters, plus the pipeline result.
+func runDistance(setup *Setup, arr *array.Array, tr *traj.Trajectory, seed int64, cfg core.Config) (float64, *core.Result) {
+	s, err := setup.Acquire(arr, tr, seed)
+	if err != nil {
+		panic(err)
+	}
+	res, err := core.ProcessSeries(s, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return math.Abs(res.Distance - tr.TotalDistance()), res
+}
+
+// cartTrace builds a cart push: a longer straight move with lateral sway,
+// centered on the open experiment area so long traces stay inside it.
+func cartTrace(scale Scale, area geom.Vec2, dirDeg, length float64, seed int64) *traj.Trajectory {
+	rate := scale.Rate()
+	speed := scale.PickF(0.5, 1.0)
+	start := area.
+		Add(geom.FromPolar(0.3+float64(seed%3)*0.3, float64(seed))).
+		Sub(geom.FromPolar(length/2, geom.Rad(dirDeg)))
+	b := traj.NewBuilder(rate, geom.Pose{Pos: start, Theta: geom.Rad(dirDeg)})
+	b.Pause(0.5)
+	b.MoveBody(0, length, speed)
+	b.Pause(0.5)
+	tr := b.Build()
+	tr.AddLateralSway(0.004, 0.9)
+	return tr
+}
+
+// deskTrace builds a short, stable desktop move.
+func deskTrace(scale Scale, area geom.Vec2, dirDeg float64, seed int64) *traj.Trajectory {
+	rate := scale.Rate()
+	start := area.Add(geom.FromPolar(0.3, float64(seed)))
+	b := traj.NewBuilder(rate, geom.Pose{Pos: start, Theta: geom.Rad(dirDeg)})
+	b.Pause(0.5)
+	b.MoveBody(0, 1.0, 0.25)
+	b.Pause(0.5)
+	return b.Build()
+}
+
+// Fig11Result carries the distance-accuracy error samples.
+type Fig11Result struct {
+	Report   *Report
+	Desktop  DistanceErrors
+	CartLOS  DistanceErrors
+	CartNLOS DistanceErrors
+}
+
+// Fig11 reproduces "Accuracy of moving distance": short stable desktop
+// moves and long cart pushes under LOS (central AP) and NLOS (far-corner
+// AP) conditions. The paper reports medians of 2.3 cm (desktop) and 8.4 cm
+// (cart: 7.3 LOS / 8.6 NLOS), 90% < 15 cm.
+func Fig11(scale Scale) *Fig11Result {
+	arr := array.NewLinear3(Spacing)
+	reps := scale.Pick(3, 8)
+	cartLen := scale.PickF(3, 10)
+	out := &Fig11Result{}
+
+	nlos := NewSetup(scale, 0, 1101) // far corner: through walls
+	los := NewSetup(scale, 3, 1102)  // central open space
+
+	for r := 0; r < reps; r++ {
+		dir := float64(r * 40)
+		tr := deskTrace(scale, nlos.Area, dir, int64(r))
+		cfg := CoreConfig(scale, arr)
+		e, _ := runDistance(nlos, arr, tr, 1110+int64(r), cfg)
+		out.Desktop = append(out.Desktop, e)
+	}
+	for r := 0; r < reps; r++ {
+		dir := float64(r * 55)
+		cfg := CoreConfig(scale, arr)
+		tr := cartTrace(scale, los.Area, dir, cartLen, int64(r))
+		e, _ := runDistance(los, arr, tr, 1120+int64(r), cfg)
+		out.CartLOS = append(out.CartLOS, e)
+
+		tr2 := cartTrace(scale, nlos.Area, dir+20, cartLen, int64(r+3))
+		e2, _ := runDistance(nlos, arr, tr2, 1130+int64(r), cfg)
+		out.CartNLOS = append(out.CartNLOS, e2)
+	}
+
+	rep := &Report{
+		ID:         "Fig. 11",
+		Title:      "Accuracy of moving distance",
+		PaperClaim: "median 2.3 cm desktop; 8.4 cm cart (7.3 LOS / 8.6 NLOS); 90%tile < 15 cm, max < 21 cm",
+		Columns:    []string{"condition", "median (cm)", "P90 (cm)", "max (cm)", "n"},
+	}
+	add := func(name string, d DistanceErrors) {
+		cm := d.Centimeters()
+		rep.AddRow(name,
+			fmt.Sprintf("%.1f", sigproc.Median(cm)),
+			fmt.Sprintf("%.1f", sigproc.Percentile(cm, 90)),
+			fmt.Sprintf("%.1f", sigproc.Max(cm)),
+			fmt.Sprintf("%d", len(cm)))
+	}
+	add("desktop", out.Desktop)
+	add("cart LOS", out.CartLOS)
+	add("cart NLOS", out.CartNLOS)
+	all := append(append(DistanceErrors{}, out.CartLOS...), out.CartNLOS...)
+	add("cart overall", all)
+	out.Report = rep
+	return out
+}
+
+// Fig12Result carries the heading errors per direction.
+type Fig12Result struct {
+	Report *Report
+	// ErrDegByDir maps true direction (deg) to heading error (deg).
+	ErrDegByDir  map[int]float64
+	MeanErrDeg   float64
+	FracWithin10 float64
+}
+
+// Fig12 reproduces "Accuracy of heading direction": the hexagonal array
+// moves ~1 m in directions sweeping the plane; the paper reports >90% of
+// errors within 10° and a mean of 6.1°.
+func Fig12(scale Scale) *Fig12Result {
+	setup := NewSetup(scale, 0, 1201)
+	arr := array.NewHexagonal(Spacing)
+	rate := scale.Rate()
+	step := scale.Pick(30, 10)
+	out := &Fig12Result{ErrDegByDir: map[int]float64{}}
+	var errs []float64
+	seed := int64(1210)
+	for d := -90; d <= 180; d += step {
+		b := traj.NewBuilder(rate, geom.Pose{Pos: setup.Area})
+		b.Pause(0.4)
+		b.MoveDir(geom.Rad(float64(d)), 1.0, 0.4)
+		b.Pause(0.4)
+		s, err := setup.Acquire(arr, b.Build(), seed)
+		seed++
+		if err != nil {
+			panic(err)
+		}
+		res, err := core.ProcessSeries(s, CoreConfig(scale, arr))
+		if err != nil {
+			panic(err)
+		}
+		errDeg := 180.0 // unresolved counts as worst case
+		for _, seg := range res.SegmentsOfKind(core.MotionTranslate) {
+			errDeg = math.Abs(geom.Deg(geom.AngleDiff(seg.HeadingBody, geom.Rad(float64(d)))))
+			break
+		}
+		out.ErrDegByDir[d] = errDeg
+		errs = append(errs, errDeg)
+	}
+	out.MeanErrDeg = sigproc.Mean(errs)
+	within := 0
+	for _, e := range errs {
+		if e <= 10 {
+			within++
+		}
+	}
+	out.FracWithin10 = float64(within) / float64(len(errs))
+
+	rep := &Report{
+		ID:         "Fig. 12",
+		Title:      "Accuracy of heading direction",
+		PaperClaim: ">90% of heading errors within 10°, mean 6.1°; estimates quantized to the 30° direction set",
+		Columns:    []string{"true direction (deg)", "heading error (deg)"},
+	}
+	for d := -90; d <= 180; d += step {
+		rep.AddRow(fmt.Sprintf("%d", d), fmt.Sprintf("%.0f", out.ErrDegByDir[d]))
+	}
+	rep.AddNote("mean error %.1f°, %.0f%% within 10°", out.MeanErrDeg, out.FracWithin10*100)
+	out.Report = rep
+	return out
+}
+
+// Fig13Result carries rotation errors for RIM and the gyroscope.
+type Fig13Result struct {
+	Report *Report
+	// RIMErrDeg / GyroErrDeg are absolute rotation-angle errors (deg),
+	// one per trial.
+	RIMErrDeg  []float64
+	GyroErrDeg []float64
+}
+
+// Fig13 reproduces "Accuracy of rotating angle": in-place rotations from
+// 30° to 360°; RIM reaches ~30° median error (≈1.3 cm of arc) while the
+// gyroscope is much better at this task.
+func Fig13(scale Scale) *Fig13Result {
+	setup := NewSetup(scale, 0, 1301)
+	arr := array.NewHexagonal(Spacing)
+	rate := scale.Rate()
+	angles := []float64{90, 180, 270}
+	if scale == Full {
+		angles = []float64{30, 60, 90, 120, 150, 180, 270, 360}
+	}
+	reps := scale.Pick(2, 10)
+	out := &Fig13Result{}
+	rep := &Report{
+		ID:         "Fig. 13",
+		Title:      "Accuracy of rotating angle (RIM vs gyroscope)",
+		PaperClaim: "RIM median error ~30.1° (17.6% relative, ~1.3 cm arc); gyroscope performs better",
+		Columns:    []string{"angle (deg)", "RIM med err (deg)", "gyro med err (deg)"},
+	}
+	seed := int64(1310)
+	for _, ang := range angles {
+		var rimErrs, gyroErrs []float64
+		for r := 0; r < reps; r++ {
+			b := traj.NewBuilder(rate, geom.Pose{Pos: setup.Area})
+			b.Pause(0.4)
+			b.RotateInPlace(geom.Rad(ang), geom.Rad(180))
+			b.Pause(0.4)
+			tr := b.Build()
+			s, err := setup.Acquire(arr, tr, seed)
+			if err != nil {
+				panic(err)
+			}
+			cfg := CoreConfig(scale, arr)
+			cfg.WindowSeconds = 0.6 // rotation lags are long (arc/(ω·r))
+			res, err := core.ProcessSeries(s, cfg)
+			if err != nil {
+				panic(err)
+			}
+			est := geom.Deg(res.RotationAngle)
+			rimErrs = append(rimErrs, math.Abs(est-ang))
+
+			readings := imu.Simulate(tr, imu.DefaultConfig(seed))
+			gangles := imu.IntegrateGyro(readings, rate)
+			gyroErrs = append(gyroErrs, math.Abs(math.Abs(geom.Deg(gangles[len(gangles)-1]))-ang))
+			seed++
+		}
+		out.RIMErrDeg = append(out.RIMErrDeg, rimErrs...)
+		out.GyroErrDeg = append(out.GyroErrDeg, gyroErrs...)
+		rep.AddRow(fmt.Sprintf("%.0f", ang),
+			fmt.Sprintf("%.1f", sigproc.Median(rimErrs)),
+			fmt.Sprintf("%.1f", sigproc.Median(gyroErrs)))
+	}
+	rep.AddNote("overall: RIM median %.1f°, gyro median %.1f°",
+		sigproc.Median(out.RIMErrDeg), sigproc.Median(out.GyroErrDeg))
+	out.Report = rep
+	return out
+}
+
+// Fig14Result carries per-AP-location distance errors.
+type Fig14Result struct {
+	Report *Report
+	// MedianCmByAP maps AP id to the median distance error in cm.
+	MedianCmByAP map[int]float64
+}
+
+// Fig14 reproduces "Impact of AP location": the same distance workload is
+// repeated with the AP at locations #1–#6; the paper finds consistently
+// <10 cm medians whether LOS or through multiple walls.
+func Fig14(scale Scale) *Fig14Result {
+	arr := array.NewLinear3(Spacing)
+	reps := scale.Pick(3, 6)
+	length := scale.PickF(2, 6)
+	out := &Fig14Result{MedianCmByAP: map[int]float64{}}
+	rep := &Report{
+		ID:         "Fig. 14",
+		Title:      "Impact of AP location",
+		PaperClaim: "median error < 10 cm for every AP location, LOS or through walls/pillars",
+		Columns:    []string{"AP location", "LOS to area", "median err (cm)", "n"},
+	}
+	for apID := 1; apID <= 6; apID++ {
+		setup := NewSetup(scale, apID, 1401+int64(apID))
+		var errs DistanceErrors
+		for r := 0; r < reps; r++ {
+			tr := cartTrace(scale, setup.Area, float64(r*65), length, int64(r))
+			cfg := CoreConfig(scale, arr)
+			e, _ := runDistance(setup, arr, tr, 1410+int64(apID*10+r), cfg)
+			errs = append(errs, e)
+		}
+		med := sigproc.Median(errs.Centimeters())
+		out.MedianCmByAP[apID] = med
+		losStr := "NLOS"
+		if setup.Env.IsLOS(setup.Area) {
+			losStr = "LOS"
+		}
+		rep.AddRow(fmt.Sprintf("#%d", apID), losStr, fmt.Sprintf("%.1f", med),
+			fmt.Sprintf("%d", len(errs)))
+	}
+	out.Report = rep
+	return out
+}
+
+// Fig15Result carries error vs accumulated distance.
+type Fig15Result struct {
+	Report *Report
+	// ErrCmAtMeter[k] is the median |est−truth| in cm after k+1 meters.
+	ErrCmAtMeter []float64
+}
+
+// Fig15 reproduces "Impact of movement distances": tracking error at each
+// meter mark of longer traces; errors range ~3–14 cm and do not accumulate
+// appreciably.
+func Fig15(scale Scale) *Fig15Result {
+	setup := NewSetup(scale, 0, 1501)
+	arr := array.NewLinear3(Spacing)
+	length := scale.PickF(4, 10)
+	reps := scale.Pick(3, 6)
+	marks := int(length)
+	sums := make([][]float64, marks)
+
+	for r := 0; r < reps; r++ {
+		tr := cartTrace(scale, setup.Area, float64(r*50), length, int64(r))
+		s, err := setup.Acquire(arr, tr, 1510+int64(r))
+		if err != nil {
+			panic(err)
+		}
+		res, err := core.ProcessSeries(s, CoreConfig(scale, arr))
+		if err != nil {
+			panic(err)
+		}
+		// Cumulative estimated distance per slot (with the blind-start
+		// compensation applied at each segment start).
+		dt := 1 / res.Rate
+		cum := make([]float64, len(res.Estimates))
+		var acc float64
+		segAt := map[int]float64{}
+		for _, seg := range res.SegmentsOfKind(core.MotionTranslate) {
+			segAt[seg.Start] = seg.GroupSep
+		}
+		for i, e := range res.Estimates {
+			if sep, ok := segAt[i]; ok {
+				acc += sep
+			}
+			if e.Kind == core.MotionTranslate {
+				acc += e.Speed * dt
+			}
+			cum[i] = acc
+		}
+		for k := 1; k <= marks; k++ {
+			// Find the slot where ground truth crosses k meters.
+			slot := -1
+			for i := range tr.Samples {
+				if tr.DistanceUpTo(i) >= float64(k) {
+					slot = i
+					break
+				}
+			}
+			if slot < 0 || slot >= len(cum) {
+				continue
+			}
+			sums[k-1] = append(sums[k-1], math.Abs(cum[slot]-float64(k))*100)
+		}
+	}
+	out := &Fig15Result{}
+	rep := &Report{
+		ID:         "Fig. 15",
+		Title:      "Impact of movement distances",
+		PaperClaim: "median errors 3–14 cm across 1–10 m; no significant accumulation",
+		Columns:    []string{"distance (m)", "median err (cm)"},
+	}
+	for k := 0; k < marks; k++ {
+		med := sigproc.Median(sums[k])
+		out.ErrCmAtMeter = append(out.ErrCmAtMeter, med)
+		rep.AddRow(fmt.Sprintf("%d", k+1), fmt.Sprintf("%.1f", med))
+	}
+	out.Report = rep
+	return out
+}
+
+// Fig16Result carries distance error vs sampling rate.
+type Fig16Result struct {
+	Report *Report
+	// MedianCmByRate maps sampling rate (Hz) to median error (cm).
+	MedianCmByRate map[int]float64
+}
+
+// Fig16 reproduces "Impact of sampling rate": CSI captured at 200 Hz is
+// downsampled; at 1 m/s, 20–40 Hz are insufficient and ≥100 Hz is needed
+// for sub-centimeter per-sample displacement.
+func Fig16(scale Scale) *Fig16Result {
+	setup := NewSetup(scale, 0, 1601)
+	arr := array.NewLinear3(Spacing)
+	baseRate := 200.0
+	speed := 1.0
+	length := scale.PickF(3, 8)
+	reps := scale.Pick(2, 5)
+	factors := []int{1, 2, 5, 10} // 200, 100, 40, 20 Hz
+	out := &Fig16Result{MedianCmByRate: map[int]float64{}}
+
+	errsByFactor := map[int][]float64{}
+	for r := 0; r < reps; r++ {
+		dir := geom.Rad(float64(r * 70))
+		start := setup.Area.
+			Add(geom.FromPolar(0.4, float64(r))).
+			Sub(geom.FromPolar(length/2, dir))
+		b := traj.NewBuilder(baseRate, geom.Pose{Pos: start, Theta: dir})
+		b.Pause(0.5)
+		b.MoveBody(0, length, speed)
+		b.Pause(0.5)
+		tr := b.Build()
+		tr.AddLateralSway(0.004, 0.9)
+		s, err := setup.Acquire(arr, tr, 1610+int64(r))
+		if err != nil {
+			panic(err)
+		}
+		for _, f := range factors {
+			ds := s.Downsample(f)
+			cfg := CoreConfig(scale, arr)
+			res, err := core.ProcessSeries(ds, cfg)
+			if err != nil {
+				panic(err)
+			}
+			errsByFactor[f] = append(errsByFactor[f],
+				math.Abs(res.Distance-tr.TotalDistance())*100)
+		}
+	}
+	rep := &Report{
+		ID:         "Fig. 16",
+		Title:      "Impact of sampling rate",
+		PaperClaim: "accuracy improves with rate; 20–40 Hz insufficient at 1 m/s, ≥100 Hz needed, marginal gains beyond",
+		Columns:    []string{"rate (Hz)", "median err (cm)"},
+	}
+	for _, f := range factors {
+		rate := int(baseRate) / f
+		med := sigproc.Median(errsByFactor[f])
+		out.MedianCmByRate[rate] = med
+		rep.AddRow(fmt.Sprintf("%d", rate), fmt.Sprintf("%.1f", med))
+	}
+	out.Report = rep
+	return out
+}
+
+// Fig17Result carries distance error vs virtual-antenna count.
+type Fig17Result struct {
+	Report *Report
+	// MedianCmByV maps V to median distance error (cm).
+	MedianCmByV map[int]float64
+	Vs          []int
+}
+
+// Fig17 reproduces "Impact of virtual antenna number": the median error
+// drops from ~30 cm at V=1 to ~10 cm at V=5 and ~6.6 cm at V=100.
+func Fig17(scale Scale) *Fig17Result {
+	setup := NewSetup(scale, 0, 1701)
+	arr := array.NewLinear3(Spacing)
+	vs := []int{1, 5, 20, 50}
+	if scale == Full {
+		vs = []int{1, 5, 10, 50, 100}
+	}
+	reps := scale.Pick(3, 6)
+	length := scale.PickF(2, 5)
+	out := &Fig17Result{MedianCmByV: map[int]float64{}, Vs: vs}
+
+	// Reuse the same CSI per rep across V values. The receiver is
+	// deliberately stressed (low SNR, loss): virtual-massive averaging is
+	// a robustness mechanism, and a clean channel hides its value.
+	var seriesList []*csi.Series
+	var truths []float64
+	for r := 0; r < reps; r++ {
+		tr := cartTrace(scale, setup.Area, float64(r*75), length, int64(r))
+		s, err := setup.AcquireWith(arr, tr, StressedReceiver(1710+int64(r)))
+		if err != nil {
+			panic(err)
+		}
+		seriesList = append(seriesList, s)
+		truths = append(truths, tr.TotalDistance())
+	}
+	rep := &Report{
+		ID:         "Fig. 17",
+		Title:      "Impact of virtual antenna number",
+		PaperClaim: "median error ~30 cm at V=1, ~10 cm at V=5, 6.6 cm at V=100 (diminishing returns past ~30)",
+		Columns:    []string{"V", "median err (cm)"},
+	}
+	for _, v := range vs {
+		var errs []float64
+		for i, s := range seriesList {
+			cfg := CoreConfig(scale, arr)
+			cfg.V = v
+			res, err := core.ProcessSeries(s, cfg)
+			if err != nil {
+				panic(err)
+			}
+			errs = append(errs, math.Abs(res.Distance-truths[i])*100)
+		}
+		med := sigproc.Median(errs)
+		out.MedianCmByV[v] = med
+		rep.AddRow(fmt.Sprintf("%d", v), fmt.Sprintf("%.1f", med))
+	}
+	out.Report = rep
+	return out
+}
+
+// DynResult carries the environmental-dynamics robustness comparison.
+type DynResult struct {
+	Report *Report
+	// StaticErrCm and DynamicErrCm are median distance errors.
+	StaticErrCm, DynamicErrCm float64
+}
+
+// Dyn reproduces §6.2.8 "Robustness to environmental dynamics": the same
+// distance workload with and without walking humans (dynamic scatterers)
+// near the receiver; RIM's accuracy should not collapse.
+func Dyn(scale Scale) *DynResult {
+	arr := array.NewLinear3(Spacing)
+	reps := scale.Pick(3, 6)
+	length := scale.PickF(2, 5)
+
+	run := func(dynamic bool, seedBase int64) []float64 {
+		var errs []float64
+		for r := 0; r < reps; r++ {
+			setup := NewSetup(scale, 0, 1801+int64(r))
+			if dynamic {
+				setup.Env.SetDynamicScatterers(3, 1.2, setup.Area, seedBase+int64(r))
+			}
+			tr := cartTrace(scale, setup.Area, float64(r*60), length, int64(r))
+			cfg := CoreConfig(scale, arr)
+			e, _ := runDistance(setup, arr, tr, seedBase+100+int64(r), cfg)
+			errs = append(errs, e*100)
+		}
+		return errs
+	}
+	static := run(false, 1820)
+	dynamic := run(true, 1860)
+	out := &DynResult{
+		StaticErrCm:  sigproc.Median(static),
+		DynamicErrCm: sigproc.Median(dynamic),
+	}
+	rep := &Report{
+		ID:         "§6.2.8",
+		Title:      "Robustness to environmental dynamics (walking humans)",
+		PaperClaim: "accuracy holds with people moving around: only part of the multipath changes and RIM does not rely on absolute TRRS",
+		Columns:    []string{"environment", "median err (cm)"},
+	}
+	rep.AddRow("static", fmt.Sprintf("%.1f", out.StaticErrCm))
+	rep.AddRow("3 walking humans", fmt.Sprintf("%.1f", out.DynamicErrCm))
+	out.Report = rep
+	return out
+}

@@ -1,0 +1,186 @@
+// Package floorplan models the indoor environment geometry RIM is evaluated
+// in: wall segments with per-crossing RF attenuation, rectangular pillars,
+// and the office testbed of the paper's Fig. 10 (a 36.5 m x 28 m floor with
+// seven candidate AP locations). The RF substrate queries it for the number
+// of obstructions along a propagation path, and the particle filter queries
+// it for trajectory-wall collisions.
+package floorplan
+
+import (
+	"fmt"
+
+	"rim/internal/geom"
+)
+
+// Wall is an attenuating line segment. AttenuationDB is the one-way power
+// loss added to any path crossing it (typical interior drywall 3-6 dB,
+// concrete/pillar faces 10+ dB at 5 GHz).
+type Wall struct {
+	Seg           geom.Segment
+	AttenuationDB float64
+}
+
+// Plan is a 2D floorplan: the outer bounds plus interior walls and pillars.
+type Plan struct {
+	Bounds  geom.Rect
+	Walls   []Wall
+	Pillars []geom.Rect
+}
+
+// AddWall appends an interior wall between a and b with the given
+// attenuation in dB.
+func (p *Plan) AddWall(a, b geom.Vec2, attdB float64) {
+	p.Walls = append(p.Walls, Wall{Seg: geom.Segment{A: a, B: b}, AttenuationDB: attdB})
+}
+
+// AddPillar appends a rectangular pillar; its four faces attenuate like
+// concrete.
+func (p *Plan) AddPillar(r geom.Rect) {
+	p.Pillars = append(p.Pillars, r)
+}
+
+// Contains reports whether the point lies within the floor bounds.
+func (p *Plan) Contains(pt geom.Vec2) bool { return p.Bounds.Contains(pt) }
+
+// PathLossDB returns the total wall/pillar attenuation in dB along the
+// straight path from a to b, and the number of obstructions crossed.
+func (p *Plan) PathLossDB(a, b geom.Vec2) (lossDB float64, crossings int) {
+	seg := geom.Segment{A: a, B: b}
+	for _, w := range p.Walls {
+		if w.Seg.Intersects(seg) {
+			lossDB += w.AttenuationDB
+			crossings++
+		}
+	}
+	const pillarFaceDB = 6 // diffraction fills in behind small obstacles
+	for _, r := range p.Pillars {
+		if r.IntersectsSegment(seg) {
+			lossDB += pillarFaceDB
+			crossings++
+		}
+	}
+	return lossDB, crossings
+}
+
+// IsLOS reports whether the straight path from a to b crosses no obstruction.
+func (p *Plan) IsLOS(a, b geom.Vec2) bool {
+	_, n := p.PathLossDB(a, b)
+	return n == 0
+}
+
+// SegmentHitsWall reports whether the motion segment from a to b crosses any
+// wall or pillar. The particle filter uses this to kill particles that walk
+// through walls (Fig. 21).
+func (p *Plan) SegmentHitsWall(a, b geom.Vec2) bool {
+	seg := geom.Segment{A: a, B: b}
+	if !p.Bounds.Contains(b) {
+		return true
+	}
+	for _, w := range p.Walls {
+		if w.Seg.Intersects(seg) {
+			return true
+		}
+	}
+	for _, r := range p.Pillars {
+		if r.IntersectsSegment(seg) {
+			return true
+		}
+	}
+	return false
+}
+
+// APLocation identifies one of the paper's AP placements (Fig. 10).
+type APLocation struct {
+	ID  int
+	Pos geom.Vec2
+}
+
+// Office mirrors the evaluation testbed: outer shell, a corridor loop of
+// office rooms along the edges, interior walls and pillars, and the seven AP
+// locations marked in Fig. 10 (#0 is the default far-corner placement used
+// for the headline NLOS results).
+type Office struct {
+	Plan
+	APs []APLocation
+}
+
+// Floor dimensions from Fig. 10.
+const (
+	OfficeWidth  = 36.5 // meters, X extent
+	OfficeHeight = 28.0 // meters, Y extent
+)
+
+// NewOffice builds the evaluation floorplan. The interior layout is a
+// faithful-in-spirit reconstruction of Fig. 10: perimeter offices around an
+// open middle area, dividing walls every few meters, four structural
+// pillars, and AP locations #0..#6 spread from the far corner (#0) to the
+// central open space.
+func NewOffice() *Office {
+	o := &Office{}
+	o.Bounds = geom.Rect{Min: geom.Vec2{X: 0, Y: 0}, Max: geom.Vec2{X: OfficeWidth, Y: OfficeHeight}}
+
+	const drywall = 4.0  // dB per crossing
+	const concrete = 9.0 // dB per crossing (building core)
+
+	v := func(x, y float64) geom.Vec2 { return geom.Vec2{X: x, Y: y} }
+
+	// Perimeter office band: rooms of ~4.5 m depth along the south and
+	// north edges, with dividing walls every 5 m and door gaps (walls do
+	// not span the full corridor, leaving 1 m openings).
+	for x := 5.0; x < OfficeWidth-4; x += 5 {
+		o.AddWall(v(x, 0), v(x, 4.5), drywall)                         // south band dividers
+		o.AddWall(v(x, OfficeHeight-4.5), v(x, OfficeHeight), drywall) // north band dividers
+	}
+	// Corridor walls separating the office bands from the open middle,
+	// pierced by door gaps every 5 m.
+	for x := 0.0; x < OfficeWidth; x += 5 {
+		end := x + 4 // 1 m door gap
+		if end > OfficeWidth {
+			end = OfficeWidth
+		}
+		o.AddWall(v(x, 4.5), v(end, 4.5), drywall)
+		o.AddWall(v(x, OfficeHeight-4.5), v(end, OfficeHeight-4.5), drywall)
+	}
+	// West and east room blocks.
+	o.AddWall(v(5.5, 4.5), v(5.5, OfficeHeight-4.5), drywall)
+	o.AddWall(v(OfficeWidth-5.5, 4.5), v(OfficeWidth-5.5, OfficeHeight-4.5), drywall)
+	// Building core (elevators/stairs) near the center-west.
+	o.AddWall(v(12, 11), v(17, 11), concrete)
+	o.AddWall(v(17, 11), v(17, 17), concrete)
+	o.AddWall(v(17, 17), v(12, 17), concrete)
+	o.AddWall(v(12, 17), v(12, 11), concrete)
+	// Structural pillars in the open area.
+	o.AddPillar(geom.Rect{Min: v(22, 9.5), Max: v(22.8, 10.3)})
+	o.AddPillar(geom.Rect{Min: v(28, 9.5), Max: v(28.8, 10.3)})
+	o.AddPillar(geom.Rect{Min: v(22, 17.5), Max: v(22.8, 18.3)})
+	o.AddPillar(geom.Rect{Min: v(28, 17.5), Max: v(28.8, 18.3)})
+
+	// AP locations: #0 far corner (default, worst case, through many
+	// walls), #1..#6 spread over the floor as in Fig. 10.
+	o.APs = []APLocation{
+		{ID: 0, Pos: v(1.0, 26.8)},  // far north-west corner
+		{ID: 1, Pos: v(8.0, 20.0)},  // west open area
+		{ID: 2, Pos: v(18.5, 21.5)}, // north of the core
+		{ID: 3, Pos: v(24.0, 19.0)}, // north-central open space
+		{ID: 4, Pos: v(32.0, 21.0)}, // north-east
+		{ID: 5, Pos: v(31.0, 6.5)},  // south-east band
+		{ID: 6, Pos: v(14.0, 6.0)},  // south-west band
+	}
+	return o
+}
+
+// AP returns the AP location with the given ID.
+func (o *Office) AP(id int) (APLocation, error) {
+	for _, ap := range o.APs {
+		if ap.ID == id {
+			return ap, nil
+		}
+	}
+	return APLocation{}, fmt.Errorf("floorplan: no AP location #%d", id)
+}
+
+// OpenAreaCenter returns a point in the middle open space where the mobile
+// experiments run.
+func (o *Office) OpenAreaCenter() geom.Vec2 {
+	return geom.Vec2{X: 25, Y: 14}
+}

@@ -1,0 +1,103 @@
+package floorplan
+
+import (
+	"testing"
+
+	"rim/internal/geom"
+)
+
+func TestPlanPathLoss(t *testing.T) {
+	var p Plan
+	p.Bounds = geom.Rect{Max: geom.Vec2{X: 10, Y: 10}}
+	p.AddWall(geom.Vec2{X: 5, Y: 0}, geom.Vec2{X: 5, Y: 10}, 4)
+	loss, n := p.PathLossDB(geom.Vec2{X: 1, Y: 5}, geom.Vec2{X: 9, Y: 5})
+	if n != 1 || loss != 4 {
+		t.Errorf("loss=%v crossings=%d", loss, n)
+	}
+	loss, n = p.PathLossDB(geom.Vec2{X: 1, Y: 5}, geom.Vec2{X: 4, Y: 5})
+	if n != 0 || loss != 0 {
+		t.Errorf("same-side loss=%v crossings=%d", loss, n)
+	}
+}
+
+func TestPlanPillarLoss(t *testing.T) {
+	var p Plan
+	p.Bounds = geom.Rect{Max: geom.Vec2{X: 10, Y: 10}}
+	p.AddPillar(geom.Rect{Min: geom.Vec2{X: 4, Y: 4}, Max: geom.Vec2{X: 6, Y: 6}})
+	if p.IsLOS(geom.Vec2{X: 0, Y: 5}, geom.Vec2{X: 10, Y: 5}) {
+		t.Error("path through pillar reported LOS")
+	}
+	if !p.IsLOS(geom.Vec2{X: 0, Y: 1}, geom.Vec2{X: 10, Y: 1}) {
+		t.Error("clear path reported NLOS")
+	}
+}
+
+func TestSegmentHitsWall(t *testing.T) {
+	var p Plan
+	p.Bounds = geom.Rect{Max: geom.Vec2{X: 10, Y: 10}}
+	p.AddWall(geom.Vec2{X: 5, Y: 0}, geom.Vec2{X: 5, Y: 10}, 4)
+	if !p.SegmentHitsWall(geom.Vec2{X: 4, Y: 1}, geom.Vec2{X: 6, Y: 1}) {
+		t.Error("wall crossing not detected")
+	}
+	if p.SegmentHitsWall(geom.Vec2{X: 1, Y: 1}, geom.Vec2{X: 2, Y: 2}) {
+		t.Error("clear move reported as hit")
+	}
+	// Leaving the bounds counts as hitting a wall.
+	if !p.SegmentHitsWall(geom.Vec2{X: 1, Y: 1}, geom.Vec2{X: -1, Y: 1}) {
+		t.Error("out-of-bounds move not detected")
+	}
+}
+
+func TestNewOfficeGeometry(t *testing.T) {
+	o := NewOffice()
+	if o.Bounds.Max.X != OfficeWidth || o.Bounds.Max.Y != OfficeHeight {
+		t.Errorf("bounds = %+v", o.Bounds)
+	}
+	if len(o.Walls) == 0 || len(o.Pillars) == 0 {
+		t.Fatal("office must have walls and pillars")
+	}
+	if len(o.APs) != 7 {
+		t.Fatalf("want 7 AP locations, got %d", len(o.APs))
+	}
+	for _, ap := range o.APs {
+		if !o.Contains(ap.Pos) {
+			t.Errorf("AP #%d outside bounds", ap.ID)
+		}
+	}
+}
+
+func TestOfficeAPLookup(t *testing.T) {
+	o := NewOffice()
+	ap, err := o.AP(0)
+	if err != nil || ap.ID != 0 {
+		t.Fatalf("AP(0) = %+v, %v", ap, err)
+	}
+	if _, err := o.AP(99); err == nil {
+		t.Error("AP(99) should fail")
+	}
+}
+
+func TestOfficeCornerAPIsNLOSFromCenter(t *testing.T) {
+	// The headline experiments put the AP at corner location #0 and move in
+	// the middle open space: that geometry must be through-the-wall.
+	o := NewOffice()
+	ap, _ := o.AP(0)
+	center := o.OpenAreaCenter()
+	if o.IsLOS(ap.Pos, center) {
+		t.Error("corner AP #0 should be NLOS from the open-area center")
+	}
+	loss, crossings := o.PathLossDB(ap.Pos, center)
+	if crossings < 1 || loss <= 0 {
+		t.Errorf("expected attenuating crossings, got loss=%v n=%d", loss, crossings)
+	}
+}
+
+func TestOfficeCentralAPIsLOSFromCenter(t *testing.T) {
+	o := NewOffice()
+	ap, _ := o.AP(3)
+	// AP #3 sits in the central open space; a nearby point should be LOS.
+	p := ap.Pos.Add(geom.Vec2{X: 1.5, Y: 1.0})
+	if !o.IsLOS(ap.Pos, p) {
+		t.Error("central AP should have LOS to nearby open-space point")
+	}
+}

@@ -1,0 +1,223 @@
+// Package fusion integrates RIM with inertial sensors and a floorplan, as
+// in the paper's §6.3.3 tracking case study: RIM supplies drift-free speed,
+// the gyroscope supplies heading changes, and a map-constrained particle
+// filter corrects heading drift by discarding particles that walk through
+// walls (Fig. 21).
+package fusion
+
+import (
+	"math"
+	"math/rand"
+
+	"rim/internal/floorplan"
+	"rim/internal/geom"
+)
+
+// Input is one fused dead-reckoning step: a travelled distance increment
+// and a heading-change increment (from the gyro or from RIM's rotation
+// estimate).
+type Input struct {
+	DistDelta  float64 // meters moved this step
+	ThetaDelta float64 // heading change this step, radians
+}
+
+// Config parameterizes the particle filter.
+type Config struct {
+	// NumParticles (default 400).
+	NumParticles int
+	// PosStd is per-step position diffusion in meters (default 0.01).
+	PosStd float64
+	// ThetaStd is per-step heading diffusion in radians (default 0.01).
+	ThetaStd float64
+	// InitPosStd / InitThetaStd spread the initial particle cloud.
+	InitPosStd   float64
+	InitThetaStd float64
+	// ResampleFrac triggers systematic resampling when the effective
+	// sample size falls below this fraction (default 0.5).
+	ResampleFrac float64
+	// Seed drives the filter randomness.
+	Seed int64
+}
+
+// DefaultConfig returns the settings used for Fig. 21.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		NumParticles: 400,
+		PosStd:       0.01,
+		ThetaStd:     0.01,
+		InitPosStd:   0.1,
+		InitThetaStd: 0.05,
+		ResampleFrac: 0.5,
+		Seed:         seed,
+	}
+}
+
+type particle struct {
+	pos    geom.Vec2
+	theta  float64
+	weight float64
+}
+
+// Filter is the map-constrained particle filter.
+type Filter struct {
+	cfg   Config
+	plan  *floorplan.Plan
+	rng   *rand.Rand
+	parts []particle
+}
+
+// NewFilter initializes the particle cloud around the known initial pose
+// (the paper's tracking demo is given the initial location and direction).
+func NewFilter(plan *floorplan.Plan, initial geom.Pose, cfg Config) *Filter {
+	if cfg.NumParticles <= 0 {
+		cfg.NumParticles = 400
+	}
+	if cfg.ResampleFrac <= 0 {
+		cfg.ResampleFrac = 0.5
+	}
+	f := &Filter{cfg: cfg, plan: plan, rng: rand.New(rand.NewSource(cfg.Seed))}
+	w := 1 / float64(cfg.NumParticles)
+	for i := 0; i < cfg.NumParticles; i++ {
+		f.parts = append(f.parts, particle{
+			pos: initial.Pos.Add(geom.Vec2{
+				X: f.rng.NormFloat64() * cfg.InitPosStd,
+				Y: f.rng.NormFloat64() * cfg.InitPosStd,
+			}),
+			theta:  initial.Theta + f.rng.NormFloat64()*cfg.InitThetaStd,
+			weight: w,
+		})
+	}
+	return f
+}
+
+// Step advances every particle by the dead-reckoning input plus diffusion,
+// kills particles that cross a wall (weight 0), renormalizes, and resamples
+// when the weights degenerate. It returns the weighted mean pose estimate.
+func (f *Filter) Step(in Input) geom.Pose {
+	var totalW float64
+	for i := range f.parts {
+		p := &f.parts[i]
+		if p.weight == 0 {
+			continue
+		}
+		p.theta = geom.NormalizeAngle(p.theta + in.ThetaDelta + f.rng.NormFloat64()*f.cfg.ThetaStd)
+		step := in.DistDelta + f.rng.NormFloat64()*f.cfg.PosStd*math.Abs(in.DistDelta)*10
+		next := p.pos.Add(geom.FromPolar(step, p.theta))
+		if f.plan != nil && f.plan.SegmentHitsWall(p.pos, next) {
+			p.weight = 0 // the paper: discard every particle that hits a wall
+			continue
+		}
+		p.pos = next
+		totalW += p.weight
+	}
+	if totalW == 0 {
+		// All particles died (e.g. dead-reckoning drove the cloud into a
+		// wall): revive by resampling around the surviving positions with
+		// broad diffusion.
+		f.revive()
+	} else {
+		inv := 1 / totalW
+		for i := range f.parts {
+			f.parts[i].weight *= inv
+		}
+	}
+	if f.effectiveFraction() < f.cfg.ResampleFrac {
+		f.resample()
+	}
+	return f.Estimate()
+}
+
+// Estimate returns the weighted mean pose of the cloud.
+func (f *Filter) Estimate() geom.Pose {
+	var pos geom.Vec2
+	var sx, sy, w float64
+	for _, p := range f.parts {
+		pos = pos.Add(p.pos.Scale(p.weight))
+		sx += math.Cos(p.theta) * p.weight
+		sy += math.Sin(p.theta) * p.weight
+		w += p.weight
+	}
+	if w == 0 {
+		return geom.Pose{}
+	}
+	return geom.Pose{Pos: pos.Scale(1 / w), Theta: math.Atan2(sy, sx)}
+}
+
+// NumAlive returns the number of particles with non-zero weight.
+func (f *Filter) NumAlive() int {
+	n := 0
+	for _, p := range f.parts {
+		if p.weight > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (f *Filter) effectiveFraction() float64 {
+	var sum2 float64
+	for _, p := range f.parts {
+		sum2 += p.weight * p.weight
+	}
+	if sum2 == 0 {
+		return 0
+	}
+	return 1 / sum2 / float64(len(f.parts))
+}
+
+// resample performs systematic resampling proportional to weights.
+func (f *Filter) resample() {
+	n := len(f.parts)
+	out := make([]particle, 0, n)
+	step := 1.0 / float64(n)
+	u := f.rng.Float64() * step
+	var cum float64
+	idx := 0
+	for i := 0; i < n; i++ {
+		target := u + float64(i)*step
+		for idx < n-1 && cum+f.parts[idx].weight < target {
+			cum += f.parts[idx].weight
+			idx++
+		}
+		p := f.parts[idx]
+		p.weight = step
+		out = append(out, p)
+	}
+	f.parts = out
+}
+
+// revive rebuilds a dead cloud around the last known positions.
+func (f *Filter) revive() {
+	// Find the centroid of the (dead) cloud and respawn with diffusion.
+	var c geom.Vec2
+	var sx, sy float64
+	for _, p := range f.parts {
+		c = c.Add(p.pos)
+		sx += math.Cos(p.theta)
+		sy += math.Sin(p.theta)
+	}
+	inv := 1 / float64(len(f.parts))
+	c = c.Scale(inv)
+	theta := math.Atan2(sy, sx)
+	w := 1 / float64(len(f.parts))
+	for i := range f.parts {
+		f.parts[i] = particle{
+			pos: c.Add(geom.Vec2{
+				X: f.rng.NormFloat64() * 0.3,
+				Y: f.rng.NormFloat64() * 0.3,
+			}),
+			theta:  theta + f.rng.NormFloat64()*0.2,
+			weight: w,
+		}
+	}
+}
+
+// TrackAll runs the filter over a full input sequence and returns the pose
+// estimate after every step.
+func (f *Filter) TrackAll(inputs []Input) []geom.Pose {
+	out := make([]geom.Pose, len(inputs))
+	for i, in := range inputs {
+		out[i] = f.Step(in)
+	}
+	return out
+}

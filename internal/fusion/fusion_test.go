@@ -1,0 +1,134 @@
+package fusion
+
+import (
+	"math"
+	"testing"
+
+	"rim/internal/floorplan"
+	"rim/internal/geom"
+)
+
+func corridorPlan() *floorplan.Plan {
+	// A 2 m wide, 20 m long east-west corridor.
+	var p floorplan.Plan
+	p.Bounds = geom.Rect{Min: geom.Vec2{X: 0, Y: 0}, Max: geom.Vec2{X: 20, Y: 2}}
+	p.AddWall(geom.Vec2{X: 0, Y: 0}, geom.Vec2{X: 20, Y: 0}, 10)
+	p.AddWall(geom.Vec2{X: 0, Y: 2}, geom.Vec2{X: 20, Y: 2}, 10)
+	return &p
+}
+
+func TestFilterFollowsCleanDeadReckoning(t *testing.T) {
+	f := NewFilter(nil, geom.Pose{Pos: geom.Vec2{X: 1, Y: 1}}, DefaultConfig(1))
+	var inputs []Input
+	for i := 0; i < 100; i++ {
+		inputs = append(inputs, Input{DistDelta: 0.05}) // 5 m east
+	}
+	poses := f.TrackAll(inputs)
+	final := poses[len(poses)-1]
+	if final.Pos.Dist(geom.Vec2{X: 6, Y: 1}) > 0.3 {
+		t.Errorf("final = %v, want near (6, 1)", final.Pos)
+	}
+}
+
+func TestWallConstraintCorrectsHeadingDrift(t *testing.T) {
+	// Dead reckoning with a constant heading-drift error would leave the
+	// corridor; the wall constraint must keep the estimate inside and
+	// close to the true east-bound path.
+	plan := corridorPlan()
+	start := geom.Pose{Pos: geom.Vec2{X: 1, Y: 1}}
+	drift := geom.Rad(0.3) // 0.3 deg/step: ~54 deg over 180 steps
+	var inputs []Input
+	for i := 0; i < 180; i++ {
+		inputs = append(inputs, Input{DistDelta: 0.05, ThetaDelta: drift})
+	}
+	// Unconstrained reference: integrate the drifting heading directly.
+	pose := start
+	for _, in := range inputs {
+		pose.Theta += in.ThetaDelta
+		pose.Pos = pose.Pos.Add(geom.FromPolar(in.DistDelta, pose.Theta))
+	}
+	if pose.Pos.Y < 2 {
+		t.Fatalf("drift reference stayed in corridor (y=%v); test is vacuous", pose.Pos.Y)
+	}
+
+	f := NewFilter(plan, start, DefaultConfig(2))
+	poses := f.TrackAll(inputs)
+	final := poses[len(poses)-1]
+	if final.Pos.Y < 0 || final.Pos.Y > 2 {
+		t.Errorf("estimate left the corridor: %v", final.Pos)
+	}
+	if final.Pos.X < 6 {
+		t.Errorf("estimate did not progress down the corridor: %v", final.Pos)
+	}
+	if f.NumAlive() == 0 {
+		t.Error("no particles alive at the end")
+	}
+}
+
+func TestEstimateWeightedMean(t *testing.T) {
+	f := &Filter{parts: []particle{
+		{pos: geom.Vec2{X: 0, Y: 0}, theta: 0, weight: 0.5},
+		{pos: geom.Vec2{X: 2, Y: 2}, theta: 0, weight: 0.5},
+	}}
+	e := f.Estimate()
+	if e.Pos.Dist(geom.Vec2{X: 1, Y: 1}) > 1e-9 {
+		t.Errorf("estimate = %v", e.Pos)
+	}
+	dead := &Filter{parts: []particle{{weight: 0}}}
+	if dead.Estimate() != (geom.Pose{}) {
+		t.Error("all-dead estimate must be zero pose")
+	}
+}
+
+func TestReviveAfterTotalDeath(t *testing.T) {
+	// Drive the whole cloud into a wall in one step: the filter must
+	// revive rather than return NaNs.
+	plan := corridorPlan()
+	cfg := DefaultConfig(3)
+	cfg.NumParticles = 50
+	cfg.InitPosStd = 0
+	cfg.InitThetaStd = 0
+	f := NewFilter(plan, geom.Pose{Pos: geom.Vec2{X: 1, Y: 1}, Theta: math.Pi / 2}, cfg)
+	pose := f.Step(Input{DistDelta: 5}) // 5 m north: through the wall for everyone
+	if math.IsNaN(pose.Pos.X) || math.IsNaN(pose.Pos.Y) {
+		t.Fatal("revive produced NaN")
+	}
+	if f.NumAlive() == 0 {
+		t.Error("cloud not revived")
+	}
+}
+
+func TestResamplePreservesCount(t *testing.T) {
+	f := NewFilter(nil, geom.Pose{}, DefaultConfig(4))
+	n := len(f.parts)
+	// Skew the weights heavily.
+	for i := range f.parts {
+		f.parts[i].weight = 0
+	}
+	f.parts[0].weight = 1
+	f.resample()
+	if len(f.parts) != n {
+		t.Fatalf("particle count changed: %d != %d", len(f.parts), n)
+	}
+	// All particles must now be copies of the surviving one.
+	for _, p := range f.parts {
+		if p.pos != f.parts[0].pos {
+			t.Fatal("resample picked a zero-weight particle")
+		}
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	mk := func() geom.Pose {
+		f := NewFilter(corridorPlan(), geom.Pose{Pos: geom.Vec2{X: 1, Y: 1}}, DefaultConfig(9))
+		var last geom.Pose
+		for i := 0; i < 50; i++ {
+			last = f.Step(Input{DistDelta: 0.05})
+		}
+		return last
+	}
+	a, b := mk(), mk()
+	if a != b {
+		t.Errorf("same seed diverged: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,89 @@
+package fusion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rim/internal/geom"
+)
+
+// Property: after any step the estimate is finite and particle count is
+// preserved.
+func TestFilterStepFiniteProperty(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		cfg := DefaultConfig(seed)
+		cfg.NumParticles = 60
+		fl := NewFilter(corridorPlan(), geom.Pose{Pos: geom.Vec2{X: 1, Y: 1}}, cfg)
+		rng := rand.New(rand.NewSource(seed + 1))
+		n := int(steps%40) + 1
+		for i := 0; i < n; i++ {
+			in := Input{
+				DistDelta:  rng.Float64() * 0.08,
+				ThetaDelta: (rng.Float64() - 0.5) * 0.05,
+			}
+			pose := fl.Step(in)
+			if math.IsNaN(pose.Pos.X) || math.IsNaN(pose.Pos.Y) || math.IsNaN(pose.Theta) {
+				return false
+			}
+		}
+		return len(fl.parts) == 60
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: particle weights are non-negative and (when any particle is
+// alive) sum to ~1 after a step.
+func TestFilterWeightsNormalizedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := DefaultConfig(seed)
+		cfg.NumParticles = 50
+		fl := NewFilter(nil, geom.Pose{}, cfg)
+		rng := rand.New(rand.NewSource(seed + 7))
+		for i := 0; i < 10; i++ {
+			fl.Step(Input{DistDelta: rng.Float64() * 0.05})
+		}
+		var sum float64
+		for _, p := range fl.parts {
+			if p.weight < 0 {
+				return false
+			}
+			sum += p.weight
+		}
+		return math.Abs(sum-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with no map and no noise, the filter's estimate tracks pure
+// dead reckoning exactly (expectation over the symmetric diffusion).
+func TestFilterUnbiasedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := DefaultConfig(seed)
+		cfg.NumParticles = 400
+		cfg.InitPosStd = 0
+		cfg.InitThetaStd = 0
+		cfg.PosStd = 0
+		cfg.ThetaStd = 0
+		fl := NewFilter(nil, geom.Pose{}, cfg)
+		var pose geom.Pose
+		for i := 0; i < 20; i++ {
+			in := Input{DistDelta: 0.05, ThetaDelta: 0.02}
+			est := fl.Step(in)
+			pose.Theta += in.ThetaDelta
+			pose.Pos = pose.Pos.Add(geom.FromPolar(in.DistDelta, pose.Theta))
+			if est.Pos.Dist(pose.Pos) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+// Package geom provides the small set of 2D vector, angle and segment
+// primitives shared by the RIM substrates: antenna-array layout, trajectory
+// generation, floorplan collision tests and the particle filter.
+//
+// Conventions: world coordinates are in meters, X to the right and Y up.
+// Angles are in radians, measured counter-clockwise from the +X axis, and
+// normalized to (-π, π] by NormalizeAngle.
+package geom
+
+import "math"
+
+// Vec2 is a 2D point or displacement in meters.
+type Vec2 struct {
+	X, Y float64
+}
+
+// Add returns v + w.
+func (v Vec2) Add(w Vec2) Vec2 { return Vec2{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Dot returns the dot product v·w.
+func (v Vec2) Dot(w Vec2) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Cross returns the scalar (z-component) cross product v×w.
+func (v Vec2) Cross(w Vec2) float64 { return v.X*w.Y - v.Y*w.X }
+
+// Norm returns the Euclidean length of v.
+func (v Vec2) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// NormSq returns the squared Euclidean length of v.
+func (v Vec2) NormSq() float64 { return v.X*v.X + v.Y*v.Y }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec2) Dist(w Vec2) float64 { return v.Sub(w).Norm() }
+
+// Unit returns v scaled to unit length. The zero vector is returned
+// unchanged so callers never divide by zero.
+func (v Vec2) Unit() Vec2 {
+	n := v.Norm()
+	if n == 0 {
+		return Vec2{}
+	}
+	return v.Scale(1 / n)
+}
+
+// Angle returns the direction of v in radians in (-π, π].
+func (v Vec2) Angle() float64 { return math.Atan2(v.Y, v.X) }
+
+// Rotate returns v rotated counter-clockwise by theta radians.
+func (v Vec2) Rotate(theta float64) Vec2 {
+	s, c := math.Sincos(theta)
+	return Vec2{v.X*c - v.Y*s, v.X*s + v.Y*c}
+}
+
+// Perp returns v rotated counter-clockwise by 90 degrees.
+func (v Vec2) Perp() Vec2 { return Vec2{-v.Y, v.X} }
+
+// Lerp returns the linear interpolation v + t*(w-v).
+func (v Vec2) Lerp(w Vec2, t float64) Vec2 {
+	return Vec2{v.X + t*(w.X-v.X), v.Y + t*(w.Y-v.Y)}
+}
+
+// FromPolar returns the vector with length r and direction theta.
+func FromPolar(r, theta float64) Vec2 {
+	s, c := math.Sincos(theta)
+	return Vec2{r * c, r * s}
+}
+
+// NormalizeAngle wraps theta into (-π, π].
+func NormalizeAngle(theta float64) float64 {
+	theta = math.Mod(theta, 2*math.Pi)
+	if theta > math.Pi {
+		theta -= 2 * math.Pi
+	} else if theta <= -math.Pi {
+		theta += 2 * math.Pi
+	}
+	return theta
+}
+
+// AngleDiff returns the smallest signed difference a-b wrapped into (-π, π].
+func AngleDiff(a, b float64) float64 { return NormalizeAngle(a - b) }
+
+// AbsAngleDiff returns |AngleDiff(a, b)|.
+func AbsAngleDiff(a, b float64) float64 { return math.Abs(AngleDiff(a, b)) }
+
+// Deg converts radians to degrees.
+func Deg(rad float64) float64 { return rad * 180 / math.Pi }
+
+// Rad converts degrees to radians.
+func Rad(deg float64) float64 { return deg * math.Pi / 180 }

@@ -1,0 +1,246 @@
+package rf
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"rim/internal/floorplan"
+	"rim/internal/geom"
+	"rim/internal/sigproc"
+)
+
+// trrs computes the normalized squared inner product between two CFRs —
+// Eq. 2 of the paper — used here to probe the channel's spatial behaviour.
+func trrs(a, b []complex128) float64 {
+	ip := cmplx.Abs(sigproc.InnerProduct(a, b))
+	return ip * ip / (sigproc.Energy(a) * sigproc.Energy(b))
+}
+
+func testEnv(t *testing.T, plan *floorplan.Plan, ap geom.Vec2) *Environment {
+	t.Helper()
+	cfg := FastConfig()
+	return NewEnvironment(cfg, ap, geom.Vec2{X: 10, Y: 0}, plan)
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.validate()
+	d := DefaultConfig()
+	if c.CarrierHz != d.CarrierHz || c.NumSubcarriers != d.NumSubcarriers {
+		t.Errorf("validate did not fill defaults: %+v", c)
+	}
+	if w := d.Wavelength(); math.Abs(w-0.0579) > 0.001 {
+		t.Errorf("wavelength = %v, want ~5.79 cm", w)
+	}
+	fs := d.SubcarrierFreqs()
+	if len(fs) != d.NumSubcarriers {
+		t.Fatalf("freqs len = %d", len(fs))
+	}
+	if math.Abs(fs[0]-(d.CarrierHz-d.BandwidthHz/2)) > 1 {
+		t.Errorf("first tone = %v", fs[0])
+	}
+	if math.Abs(fs[len(fs)-1]-(d.CarrierHz+d.BandwidthHz/2)) > 1 {
+		t.Errorf("last tone = %v", fs[len(fs)-1])
+	}
+	one := Config{NumSubcarriers: 1}.validate()
+	one.NumSubcarriers = 1
+	if got := one.SubcarrierFreqs(); len(got) != 1 || got[0] != one.CarrierHz {
+		t.Errorf("single-tone freqs = %v", got)
+	}
+	if one.SubcarrierSpacing() != 0 {
+		t.Error("single-tone spacing != 0")
+	}
+}
+
+func TestCFRDeterministic(t *testing.T) {
+	e1 := testEnv(t, nil, geom.Vec2{X: 0, Y: 0})
+	e2 := testEnv(t, nil, geom.Vec2{X: 0, Y: 0})
+	p := geom.Vec2{X: 10, Y: 0.3}
+	h1 := make([]complex128, e1.cfg.NumSubcarriers)
+	h2 := make([]complex128, e2.cfg.NumSubcarriers)
+	e1.CFR(p, 0, 0, h1)
+	e2.CFR(p, 0, 0, h2)
+	for k := range h1 {
+		if h1[k] != h2[k] {
+			t.Fatal("same seed must give identical channels")
+		}
+	}
+}
+
+func TestCFRPanicsOnBadOutput(t *testing.T) {
+	e := testEnv(t, nil, geom.Vec2{})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong output length")
+		}
+	}()
+	e.CFR(geom.Vec2{X: 10, Y: 0}, 0, 0, make([]complex128, 3))
+}
+
+func TestTRRSSelfIsOne(t *testing.T) {
+	e := testEnv(t, nil, geom.Vec2{})
+	h := make([]complex128, e.cfg.NumSubcarriers)
+	e.CFR(geom.Vec2{X: 10, Y: 1}, 0, 0, h)
+	if k := trrs(h, h); math.Abs(k-1) > 1e-9 {
+		t.Errorf("self TRRS = %v", k)
+	}
+}
+
+// TestSpatialDecorrelation is the load-bearing physics check: the TRRS
+// between CFRs at two positions must decay as their separation grows from
+// millimeters to centimeters (Fig. 4 of the paper), averaged over tx
+// antennas and probe directions.
+func TestSpatialDecorrelation(t *testing.T) {
+	e := testEnv(t, nil, geom.Vec2{})
+	base := geom.Vec2{X: 10, Y: 0.5}
+	seps := []float64{0.001, 0.005, 0.02, 0.05}
+	avg := make([]float64, len(seps))
+	dirs := []float64{0, 1, 2, 3, 4, 5}
+	h0 := make([]complex128, e.cfg.NumSubcarriers)
+	h1 := make([]complex128, e.cfg.NumSubcarriers)
+	for si, sep := range seps {
+		var sum float64
+		var n int
+		for _, d := range dirs {
+			off := geom.FromPolar(sep, d)
+			for tx := 0; tx < e.cfg.NumTxAntennas; tx++ {
+				e.CFR(base, tx, 0, h0)
+				e.CFR(base.Add(off), tx, 0, h1)
+				sum += trrs(h0, h1)
+				n++
+			}
+		}
+		avg[si] = sum / float64(n)
+	}
+	if avg[0] < 0.95 {
+		t.Errorf("TRRS at 1 mm = %v, want near 1", avg[0])
+	}
+	if avg[1] < avg[3] {
+		t.Errorf("TRRS should decay: 5mm=%v 50mm=%v", avg[1], avg[3])
+	}
+	if avg[3] > 0.75 {
+		t.Errorf("TRRS at 5 cm = %v, want substantially below 1", avg[3])
+	}
+}
+
+func TestNLOSStillDecorrelates(t *testing.T) {
+	// Put a wall between the AP and the probe area: the LOS ray is
+	// attenuated, the channel becomes Rayleigh-like, and TRRS still (in
+	// fact more sharply) decorrelates — the paper's core NLOS claim.
+	var plan floorplan.Plan
+	plan.Bounds = geom.Rect{Min: geom.Vec2{X: -50, Y: -50}, Max: geom.Vec2{X: 50, Y: 50}}
+	plan.AddWall(geom.Vec2{X: 5, Y: -50}, geom.Vec2{X: 5, Y: 50}, 12)
+	e := testEnv(t, &plan, geom.Vec2{})
+	if e.IsLOS(geom.Vec2{X: 10, Y: 0.5}) {
+		t.Fatal("probe point should be NLOS")
+	}
+	base := geom.Vec2{X: 10, Y: 0.5}
+	h0 := make([]complex128, e.cfg.NumSubcarriers)
+	h1 := make([]complex128, e.cfg.NumSubcarriers)
+	e.CFR(base, 0, 0, h0)
+	e.CFR(base.Add(geom.Vec2{X: 0.05, Y: 0}), 0, 0, h1)
+	if k := trrs(h0, h1); k > 0.7 {
+		t.Errorf("NLOS TRRS at 5 cm = %v, want < 0.7", k)
+	}
+}
+
+func TestWallAttenuationReducesEnergy(t *testing.T) {
+	var plan floorplan.Plan
+	plan.Bounds = geom.Rect{Min: geom.Vec2{X: -50, Y: -50}, Max: geom.Vec2{X: 50, Y: 50}}
+	free := testEnv(t, nil, geom.Vec2{})
+	plan.AddWall(geom.Vec2{X: 5, Y: -50}, geom.Vec2{X: 5, Y: 50}, 10)
+	walled := testEnv(t, &plan, geom.Vec2{})
+	p := geom.Vec2{X: 10, Y: 0.5}
+	hf := make([]complex128, free.cfg.NumSubcarriers)
+	hw := make([]complex128, walled.cfg.NumSubcarriers)
+	free.CFR(p, 0, 0, hf)
+	walled.CFR(p, 0, 0, hw)
+	if sigproc.Energy(hw) >= sigproc.Energy(hf) {
+		t.Errorf("wall did not reduce energy: %v >= %v",
+			sigproc.Energy(hw), sigproc.Energy(hf))
+	}
+}
+
+func TestDynamicScatterersChangeChannelOverTime(t *testing.T) {
+	e := testEnv(t, nil, geom.Vec2{})
+	p := geom.Vec2{X: 10, Y: 0.5}
+	h0 := make([]complex128, e.cfg.NumSubcarriers)
+	h1 := make([]complex128, e.cfg.NumSubcarriers)
+
+	// Static scene: identical at different times.
+	e.CFR(p, 0, 0, h0)
+	e.CFR(p, 0, 1.0, h1)
+	for k := range h0 {
+		if h0[k] != h1[k] {
+			t.Fatal("static scene must be time-invariant")
+		}
+	}
+
+	e.SetDynamicScatterers(5, 1.2, p, 7)
+	moving := 0
+	for _, s := range e.Scatterers() {
+		if s.Velocity != (geom.Vec2{}) {
+			moving++
+		}
+	}
+	if moving != 5 {
+		t.Fatalf("moving scatterers = %d, want 5", moving)
+	}
+	e.CFR(p, 0, 0, h0)
+	e.CFR(p, 0, 1.0, h1)
+	if k := trrs(h0, h1); k > 0.999 {
+		t.Errorf("dynamic scene TRRS over 1 s = %v, want < 1", k)
+	}
+	// But most multipath survives: TRRS should stay well above the fully
+	// decorrelated floor — this is why RIM tolerates walking humans.
+	if k := trrs(h0, h1); k < 0.3 {
+		t.Errorf("dynamic scene TRRS = %v, want moderate (> 0.3)", k)
+	}
+
+	// Freeze again.
+	e.SetDynamicScatterers(0, 0, p, 7)
+	for _, s := range e.Scatterers() {
+		if s.Velocity != (geom.Vec2{}) {
+			t.Fatal("freeze failed")
+		}
+	}
+}
+
+func TestSnapshotAllShape(t *testing.T) {
+	e := testEnv(t, nil, geom.Vec2{})
+	h := e.SnapshotAll(geom.Vec2{X: 10, Y: 0}, 0)
+	if len(h) != e.cfg.NumTxAntennas {
+		t.Fatalf("tx dim = %d", len(h))
+	}
+	for _, row := range h {
+		if len(row) != e.cfg.NumSubcarriers {
+			t.Fatalf("subcarrier dim = %d", len(row))
+		}
+	}
+}
+
+func TestTxAntennaDiversity(t *testing.T) {
+	// Different tx antennas see different channels (the spatial diversity
+	// Eq. 3 averages over).
+	e := testEnv(t, nil, geom.Vec2{})
+	p := geom.Vec2{X: 10, Y: 0.5}
+	h0 := make([]complex128, e.cfg.NumSubcarriers)
+	h1 := make([]complex128, e.cfg.NumSubcarriers)
+	e.CFR(p, 0, 0, h0)
+	e.CFR(p, 1, 0, h1)
+	if k := trrs(h0, h1); k > 0.999 {
+		t.Errorf("tx antennas 0 and 1 identical (TRRS %v)", k)
+	}
+}
+
+func TestScattererPosAt(t *testing.T) {
+	s := Scatterer{Pos: geom.Vec2{X: 1, Y: 2}, Velocity: geom.Vec2{X: 0.5, Y: 0}}
+	p := s.PosAt(2)
+	if p.X != 2 || p.Y != 2 {
+		t.Errorf("PosAt = %v", p)
+	}
+	static := Scatterer{Pos: geom.Vec2{X: 1, Y: 2}}
+	if static.PosAt(5) != static.Pos {
+		t.Error("static scatterer moved")
+	}
+}

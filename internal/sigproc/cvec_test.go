@@ -1,0 +1,205 @@
+package sigproc
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostF(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randVec(rng *rand.Rand, n int) []complex128 {
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return v
+}
+
+func TestInnerProductMatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randVec(rng, 33)
+	b := randVec(rng, 33)
+	var want complex128
+	for i := range a {
+		want += cmplx.Conj(a[i]) * b[i]
+	}
+	got := InnerProduct(a, b)
+	if cmplx.Abs(got-want) > 1e-9 {
+		t.Errorf("InnerProduct = %v, want %v", got, want)
+	}
+}
+
+func TestInnerProductPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on mismatched lengths")
+		}
+	}()
+	InnerProduct(make([]complex128, 2), make([]complex128, 3))
+}
+
+func TestEnergyAndNormalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randVec(rng, 64)
+	e := Energy(a)
+	if e <= 0 {
+		t.Fatal("energy must be positive")
+	}
+	n := Normalize(a)
+	if !almostF(n, math.Sqrt(e), 1e-9) {
+		t.Errorf("Normalize returned %v, want %v", n, math.Sqrt(e))
+	}
+	if !almostF(Energy(a), 1, 1e-9) {
+		t.Errorf("post-normalize energy = %v", Energy(a))
+	}
+	var zero []complex128
+	if Normalize(zero) != 0 {
+		t.Error("Normalize(nil) != 0")
+	}
+	z := make([]complex128, 4)
+	if Normalize(z) != 0 {
+		t.Error("Normalize(zero vector) != 0")
+	}
+}
+
+func TestInnerProductCauchySchwarz(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randVec(rng, 16)
+		b := randVec(rng, 16)
+		lhs := cmplx.Abs(InnerProduct(a, b))
+		rhs := math.Sqrt(Energy(a) * Energy(b))
+		return lhs <= rhs*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeReverseConj(t *testing.T) {
+	a := []complex128{1 + 2i, 3 - 1i, -2 + 0.5i}
+	g := TimeReverseConj(a)
+	want := []complex128{-2 - 0.5i, 3 + 1i, 1 - 2i}
+	for i := range want {
+		if cmplx.Abs(g[i]-want[i]) > 1e-12 {
+			t.Errorf("g[%d] = %v, want %v", i, g[i], want[i])
+		}
+	}
+}
+
+func TestConvolveKnown(t *testing.T) {
+	a := []complex128{1, 2}
+	b := []complex128{3, 4, 5}
+	got := Convolve(a, b)
+	want := []complex128{3, 10, 13, 10}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if cmplx.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("conv[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if Convolve(nil, b) != nil {
+		t.Error("Convolve(nil, b) should be nil")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	a := []complex128{1, 3i, -2 - 2i}
+	m, i := MaxAbs(a)
+	if i != 1 || !almostF(m, 3, 1e-12) {
+		t.Errorf("MaxAbs = %v at %d", m, i)
+	}
+	if _, i := MaxAbs(nil); i != -1 {
+		t.Error("MaxAbs(nil) index != -1")
+	}
+}
+
+func TestApplyPhaseRamp(t *testing.T) {
+	n := 32
+	a := make([]complex128, n)
+	for i := range a {
+		a[i] = 1
+	}
+	offset, slope := 0.7, 0.05
+	ApplyPhaseRamp(a, offset, slope)
+	for k := range a {
+		wantPh := offset + slope*float64(k)
+		if !almostF(cmplx.Phase(a[k]), math.Mod(wantPh+math.Pi, 2*math.Pi)-math.Pi, 1e-6) {
+			t.Fatalf("phase[%d] = %v, want %v", k, cmplx.Phase(a[k]), wantPh)
+		}
+		if !almostF(cmplx.Abs(a[k]), 1, 1e-9) {
+			t.Fatalf("ramp changed magnitude at %d", k)
+		}
+	}
+}
+
+func TestUnwrap(t *testing.T) {
+	// A linear phase with slope 0.9 rad/sample wraps several times over 30
+	// samples; unwrapping must recover the line.
+	n := 30
+	truth := make([]float64, n)
+	wrapped := make([]float64, n)
+	for i := 0; i < n; i++ {
+		truth[i] = 0.9 * float64(i)
+		wrapped[i] = math.Mod(truth[i]+math.Pi, 2*math.Pi) - math.Pi
+	}
+	got := Unwrap(wrapped)
+	for i := range got {
+		if !almostF(got[i], truth[i], 1e-9) {
+			t.Fatalf("Unwrap[%d] = %v, want %v", i, got[i], truth[i])
+		}
+	}
+	if len(Unwrap(nil)) != 0 {
+		t.Error("Unwrap(nil) not empty")
+	}
+}
+
+func TestConjAndHelpers(t *testing.T) {
+	a := []complex128{1 + 1i, 2 - 3i}
+	c := Conj(a)
+	if c[0] != 1-1i || c[1] != 2+3i {
+		t.Errorf("Conj = %v", c)
+	}
+	ph := Phases(a)
+	if !almostF(ph[0], math.Pi/4, 1e-12) {
+		t.Errorf("Phases[0] = %v", ph[0])
+	}
+	mg := Magnitudes(a)
+	if !almostF(mg[0], math.Sqrt2, 1e-12) {
+		t.Errorf("Magnitudes[0] = %v", mg[0])
+	}
+}
+
+// TRRS identity: the frequency-domain normalized inner product equals the
+// time-domain max-convolution definition for equal-length vectors.
+func TestTimeFreqTRRSEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h1 := randVec(rng, 16)
+	h2 := randVec(rng, 16)
+	// Time domain (Eq. 1): kappa = max|h1*g2|^2 / (<h1,h1><g2,g2>).
+	g2 := TimeReverseConj(h2)
+	conv := Convolve(h1, g2)
+	peak, _ := MaxAbs(conv)
+	kTime := peak * peak / (Energy(h1) * Energy(g2))
+	// Frequency domain (Eq. 2) on the DFTs of h1, h2.
+	H1 := FFT(h1)
+	H2 := FFT(h2)
+	ip := cmplx.Abs(InnerProduct(H1, H2))
+	kFreq := ip * ip / (Energy(H1) * Energy(H2))
+	// The time-domain max over lags is >= the zero-lag (frequency) value,
+	// and equals it when the peak is at zero lag. Check the invariant and
+	// the exact equality of the zero-lag term.
+	zeroLag := cmplx.Abs(conv[len(h1)-1]) // lag 0 index in full convolution
+	kZero := zeroLag * zeroLag / (Energy(h1) * Energy(g2))
+	if kTime < kZero-1e-12 {
+		t.Errorf("max-lag TRRS %v < zero-lag %v", kTime, kZero)
+	}
+	if !almostF(kZero, kFreq, 1e-9) {
+		t.Errorf("zero-lag time TRRS %v != freq TRRS %v", kZero, kFreq)
+	}
+}

@@ -1,0 +1,121 @@
+package sigproc
+
+import "math"
+
+// FFT returns the discrete Fourier transform of x. The input length may be
+// arbitrary: power-of-two lengths use an in-place iterative radix-2
+// Cooley-Tukey transform; other lengths fall back to Bluestein's algorithm.
+// The input slice is not modified.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	copy(out, x)
+	if n <= 1 {
+		return out
+	}
+	if n&(n-1) == 0 {
+		fftRadix2(out, false)
+		return out
+	}
+	return bluestein(out, false)
+}
+
+// IFFT returns the inverse DFT of x (normalized by 1/N).
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	copy(out, x)
+	if n <= 1 {
+		return out
+	}
+	if n&(n-1) == 0 {
+		fftRadix2(out, true)
+	} else {
+		out = bluestein(out, true)
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// fftRadix2 transforms x in place. len(x) must be a power of two.
+func fftRadix2(x []complex128, inverse bool) {
+	n := len(x)
+	// Bit-reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+		mask := n >> 1
+		for j&mask != 0 {
+			j &^= mask
+			mask >>= 1
+		}
+		j |= mask
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		ang := sign * 2 * math.Pi / float64(size)
+		ws, wc := math.Sincos(ang)
+		wstep := complex(wc, ws)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wstep
+			}
+		}
+	}
+}
+
+// bluestein computes a DFT of arbitrary length via the chirp-z transform.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp: w[k] = exp(sign * i*pi*k^2/n). Use k^2 mod 2n to avoid
+	// precision loss for large k.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		s, c := math.Sincos(sign * math.Pi * float64(kk) / float64(n))
+		chirp[k] = complex(c, s)
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		bc := complex(real(chirp[k]), -imag(chirp[k]))
+		b[k] = bc
+		if k > 0 {
+			b[m-k] = bc
+		}
+	}
+	fftRadix2(a, false)
+	fftRadix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	fftRadix2(a, true)
+	invM := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * invM * chirp[k]
+	}
+	return out
+}

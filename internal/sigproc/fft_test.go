@@ -1,0 +1,112 @@
+package sigproc
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// dftNaive is the O(n^2) reference DFT.
+func dftNaive(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			sn, cs := math.Sincos(ang)
+			s += x[j] * complex(cs, sn)
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func maxErr(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 3, 5, 7, 12, 30, 114} {
+		x := randVec(rng, n)
+		got := FFT(x)
+		want := dftNaive(x)
+		if e := maxErr(got, want); e > 1e-7 {
+			t.Errorf("n=%d: max error %v", n, e)
+		}
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 2, 8, 32, 114, 57, 13} {
+		x := randVec(rng, n)
+		back := IFFT(FFT(x))
+		if e := maxErr(back, x); e > 1e-8 {
+			t.Errorf("n=%d: round-trip error %v", n, e)
+		}
+	}
+}
+
+func TestFFTDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := randVec(rng, 16)
+	orig := make([]complex128, 16)
+	copy(orig, x)
+	FFT(x)
+	if maxErr(x, orig) != 0 {
+		t.Error("FFT mutated its input")
+	}
+	IFFT(x)
+	if maxErr(x, orig) != 0 {
+		t.Error("IFFT mutated its input")
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{8, 30, 114} {
+		x := randVec(rng, n)
+		X := FFT(x)
+		if !almostF(Energy(X), float64(n)*Energy(x), 1e-6*float64(n)) {
+			t.Errorf("n=%d: Parseval violated: %v vs %v", n, Energy(X), float64(n)*Energy(x))
+		}
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// DFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	X := FFT(x)
+	for k, v := range X {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("X[%d] = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randVec(rng, 30)
+	b := randVec(rng, 30)
+	sum := make([]complex128, 30)
+	for i := range sum {
+		sum[i] = 2*a[i] + 3i*b[i]
+	}
+	A, B, S := FFT(a), FFT(b), FFT(sum)
+	for i := range S {
+		want := 2*A[i] + 3i*B[i]
+		if cmplx.Abs(S[i]-want) > 1e-7 {
+			t.Fatalf("linearity violated at %d", i)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package sigproc
+
+import "sort"
+
+// MovingAverage returns the centered moving average of x with the given
+// window half-width. Element i averages x[max(0,i-half) .. min(n-1,i+half)],
+// shrinking the window at the edges. half <= 0 returns a copy.
+func MovingAverage(x []float64, half int) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	if half <= 0 {
+		copy(out, x)
+		return out
+	}
+	// Prefix sums for O(n).
+	prefix := make([]float64, n+1)
+	for i, v := range x {
+		prefix[i+1] = prefix[i] + v
+	}
+	for i := 0; i < n; i++ {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi >= n {
+			hi = n - 1
+		}
+		out[i] = (prefix[hi+1] - prefix[lo]) / float64(hi-lo+1)
+	}
+	return out
+}
+
+// MedianFilter returns the centered running median of x with the given
+// window half-width, shrinking the window at the edges. Robust to the
+// impulsive outliers that packet loss produces in lag sequences.
+func MedianFilter(x []float64, half int) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	if half <= 0 {
+		copy(out, x)
+		return out
+	}
+	buf := make([]float64, 0, 2*half+1)
+	for i := 0; i < n; i++ {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi >= n {
+			hi = n - 1
+		}
+		buf = buf[:0]
+		buf = append(buf, x[lo:hi+1]...)
+		sort.Float64s(buf)
+		m := len(buf)
+		if m%2 == 1 {
+			out[i] = buf[m/2]
+		} else {
+			out[i] = 0.5 * (buf[m/2-1] + buf[m/2])
+		}
+	}
+	return out
+}
+
+// BoxFilterColumns smooths a T x L matrix along the first (time) axis with a
+// centered window of half-width half, writing the result into dst (same
+// shape). It is the moving-average factorization of the virtual-massive-
+// antenna TRRS (Eq. 4): averaging base TRRS values over V consecutive
+// samples equals a box filter with half = V/2.
+//
+// dst and src may not alias. Rows are []float64 of equal length L.
+func BoxFilterColumns(dst, src [][]float64, half int) {
+	t := len(src)
+	if t == 0 {
+		return
+	}
+	l := len(src[0])
+	if half <= 0 {
+		for i := range src {
+			copy(dst[i], src[i])
+		}
+		return
+	}
+	// Running column sums.
+	sums := make([]float64, l)
+	count := 0
+	// Initialize window [0, half].
+	for i := 0; i <= half && i < t; i++ {
+		for j := 0; j < l; j++ {
+			sums[j] += src[i][j]
+		}
+		count++
+	}
+	for i := 0; i < t; i++ {
+		inv := 1 / float64(count)
+		for j := 0; j < l; j++ {
+			dst[i][j] = sums[j] * inv
+		}
+		// Slide: add row i+half+1, remove row i-half.
+		add := i + half + 1
+		if add < t {
+			row := src[add]
+			for j := 0; j < l; j++ {
+				sums[j] += row[j]
+			}
+			count++
+		}
+		rem := i - half
+		if rem >= 0 {
+			row := src[rem]
+			for j := 0; j < l; j++ {
+				sums[j] -= row[j]
+			}
+			count--
+		}
+	}
+}
+
+// ExponentialSmooth returns the exponentially smoothed series with
+// coefficient alpha in (0, 1]: y[0]=x[0], y[i]=alpha*x[i]+(1-alpha)*y[i-1].
+func ExponentialSmooth(x []float64, alpha float64) []float64 {
+	out := make([]float64, len(x))
+	if len(x) == 0 {
+		return out
+	}
+	out[0] = x[0]
+	for i := 1; i < len(x); i++ {
+		out[i] = alpha*x[i] + (1-alpha)*out[i-1]
+	}
+	return out
+}

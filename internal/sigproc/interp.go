@@ -1,0 +1,105 @@
+package sigproc
+
+// InterpolateMissing fills nil entries of a sequence of complex vectors by
+// linear interpolation between the nearest non-nil neighbors. Leading and
+// trailing gaps are filled by copying the nearest valid vector. This is the
+// packet-loss repair described in §5 of the paper: a lost broadcast packet
+// leaves a null CSI slot that is reconstructed before TRRS computation.
+//
+// All non-nil vectors must share one length; the filled vectors are newly
+// allocated. If every entry is nil the input is returned unchanged.
+func InterpolateMissing(frames [][]complex128) [][]complex128 {
+	n := len(frames)
+	// Collect indices of valid frames.
+	valid := make([]int, 0, n)
+	for i, f := range frames {
+		if f != nil {
+			valid = append(valid, i)
+		}
+	}
+	if len(valid) == 0 || len(valid) == n {
+		return frames
+	}
+	out := make([][]complex128, n)
+	copy(out, frames)
+	first, last := valid[0], valid[len(valid)-1]
+	for i := 0; i < first; i++ {
+		out[i] = cloneC(frames[first])
+	}
+	for i := last + 1; i < n; i++ {
+		out[i] = cloneC(frames[last])
+	}
+	for vi := 0; vi+1 < len(valid); vi++ {
+		lo, hi := valid[vi], valid[vi+1]
+		if hi == lo+1 {
+			continue
+		}
+		a, b := frames[lo], frames[hi]
+		span := float64(hi - lo)
+		for i := lo + 1; i < hi; i++ {
+			t := complex(float64(i-lo)/span, 0)
+			v := make([]complex128, len(a))
+			for k := range a {
+				v[k] = a[k] + (b[k]-a[k])*t
+			}
+			out[i] = v
+		}
+	}
+	return out
+}
+
+func cloneC(a []complex128) []complex128 {
+	out := make([]complex128, len(a))
+	copy(out, a)
+	return out
+}
+
+// Resample returns x decimated by an integer factor (keeping every factor-th
+// sample starting at index 0). factor <= 1 returns a copy. It models
+// downsampling the CSI stream for the sampling-rate study (Fig. 16).
+func Resample(x []float64, factor int) []float64 {
+	if factor <= 1 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out
+	}
+	out := make([]float64, 0, (len(x)+factor-1)/factor)
+	for i := 0; i < len(x); i += factor {
+		out = append(out, x[i])
+	}
+	return out
+}
+
+// LinearInterpAt evaluates the piecewise-linear function through points
+// (xs[i], ys[i]) at x, clamping outside the domain. xs must be ascending.
+func LinearInterpAt(xs, ys []float64, x float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if n != len(ys) {
+		panic("sigproc: LinearInterpAt length mismatch")
+	}
+	if x <= xs[0] {
+		return ys[0]
+	}
+	if x >= xs[n-1] {
+		return ys[n-1]
+	}
+	// Binary search for the bracketing interval.
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if xs[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	span := xs[hi] - xs[lo]
+	if span == 0 {
+		return ys[lo]
+	}
+	t := (x - xs[lo]) / span
+	return ys[lo]*(1-t) + ys[hi]*t
+}

@@ -1,0 +1,71 @@
+package sigproc
+
+// LinearFit returns the least-squares line y = intercept + slope*x fitted to
+// the points (x[i], y[i]). With fewer than two points it returns (y0, 0).
+func LinearFit(x, y []float64) (intercept, slope float64) {
+	n := len(x)
+	if n != len(y) {
+		panic("sigproc: LinearFit length mismatch")
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	if n == 1 {
+		return y[0], 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := 0; i < n; i++ {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return sy / fn, 0
+	}
+	slope = (fn*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / fn
+	return intercept, slope
+}
+
+// LinearFitIndexed fits y = intercept + slope*i over i = 0..len(y)-1.
+func LinearFitIndexed(y []float64) (intercept, slope float64) {
+	n := len(y)
+	if n == 0 {
+		return 0, 0
+	}
+	if n == 1 {
+		return y[0], 0
+	}
+	// Closed form with x = 0..n-1: sx = n(n-1)/2, sxx = (n-1)n(2n-1)/6.
+	fn := float64(n)
+	sx := fn * (fn - 1) / 2
+	sxx := (fn - 1) * fn * (2*fn - 1) / 6
+	var sy, sxy float64
+	for i, v := range y {
+		sy += v
+		sxy += float64(i) * v
+	}
+	den := fn*sxx - sx*sx
+	slope = (fn*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / fn
+	return intercept, slope
+}
+
+// DetrendPhase removes the best-fit linear phase ramp (intercept + slope*k)
+// from the complex vector a in place and returns the removed intercept and
+// slope. This is the CSI phase sanitization of Kotaru et al. (SpotFi) that
+// the paper adopts for calibrating SFO/STO-induced linear offsets: the
+// unwrapped per-subcarrier phase is detrended so only the multipath
+// structure remains.
+func DetrendPhase(a []complex128) (intercept, slope float64) {
+	if len(a) == 0 {
+		return 0, 0
+	}
+	ph := Unwrap(Phases(a))
+	intercept, slope = LinearFitIndexed(ph)
+	ApplyPhaseRamp(a, -intercept, -slope)
+	return intercept, slope
+}

@@ -1,0 +1,99 @@
+package sigproc
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 2.5 + 0.7*v
+	}
+	b, m := LinearFit(x, y)
+	if !almostF(b, 2.5, 1e-9) || !almostF(m, 0.7, 1e-9) {
+		t.Errorf("fit = (%v, %v)", b, m)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if b, m := LinearFit(nil, nil); b != 0 || m != 0 {
+		t.Error("empty fit not zero")
+	}
+	if b, m := LinearFit([]float64{2}, []float64{5}); b != 5 || m != 0 {
+		t.Error("single-point fit wrong")
+	}
+	// All x identical: slope must be 0, intercept the mean.
+	b, m := LinearFit([]float64{1, 1, 1}, []float64{2, 4, 6})
+	if m != 0 || !almostF(b, 4, 1e-12) {
+		t.Errorf("vertical fit = (%v, %v)", b, m)
+	}
+}
+
+func TestLinearFitIndexedMatchesGeneral(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	y := make([]float64, 40)
+	for i := range y {
+		y[i] = 3 - 0.2*float64(i) + 0.01*rng.NormFloat64()
+	}
+	x := make([]float64, len(y))
+	for i := range x {
+		x[i] = float64(i)
+	}
+	b1, m1 := LinearFit(x, y)
+	b2, m2 := LinearFitIndexed(y)
+	if !almostF(b1, b2, 1e-9) || !almostF(m1, m2, 1e-9) {
+		t.Errorf("indexed fit (%v,%v) != general (%v,%v)", b2, m2, b1, m1)
+	}
+}
+
+func TestDetrendPhaseRemovesRamp(t *testing.T) {
+	// Build a flat spectrum, inject a known linear phase ramp, detrend, and
+	// verify the phases return to (approximately) constant.
+	n := 56
+	a := make([]complex128, n)
+	for i := range a {
+		a[i] = complex(1, 0)
+	}
+	ApplyPhaseRamp(a, 1.2, 0.4)
+	intercept, slope := DetrendPhase(a)
+	if !almostF(slope, 0.4, 1e-6) {
+		t.Errorf("recovered slope = %v, want 0.4", slope)
+	}
+	_ = intercept
+	for k := 1; k < n; k++ {
+		d := cmplx.Phase(a[k] * cmplx.Conj(a[k-1]))
+		if math.Abs(d) > 1e-6 {
+			t.Fatalf("residual phase step %v at %d", d, k)
+		}
+	}
+}
+
+func TestDetrendPhasePreservesMultipathStructure(t *testing.T) {
+	// A two-path channel has non-linear phase; sanitization must keep the
+	// magnitude profile intact (it only rotates phases).
+	n := 30
+	a := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		ph1 := -2 * math.Pi * 0.1 * float64(k)
+		ph2 := -2 * math.Pi * 0.31 * float64(k)
+		a[k] = cmplx.Rect(1, ph1) + cmplx.Rect(0.6, ph2)
+	}
+	before := Magnitudes(a)
+	DetrendPhase(a)
+	after := Magnitudes(a)
+	for i := range before {
+		if !almostF(before[i], after[i], 1e-9) {
+			t.Fatalf("sanitization changed magnitude at %d", i)
+		}
+	}
+}
+
+func TestDetrendPhaseEmpty(t *testing.T) {
+	if b, m := DetrendPhase(nil); b != 0 || m != 0 {
+		t.Error("empty detrend not zero")
+	}
+}

@@ -1,0 +1,148 @@
+package sigproc
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Variance returns the population variance of x, or 0 for len(x) < 2.
+func Variance(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(x))
+}
+
+// Std returns the population standard deviation of x.
+func Std(x []float64) float64 { return math.Sqrt(Variance(x)) }
+
+// Median returns the median of x, or 0 for an empty slice.
+func Median(x []float64) float64 { return Percentile(x, 50) }
+
+// Percentile returns the p-th percentile (0..100) of x using linear
+// interpolation between order statistics. x is not modified.
+func Percentile(x []float64, p float64) float64 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	s := make([]float64, n)
+	copy(s, x)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[n-1]
+	}
+	pos := p / 100 * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Max returns the maximum of x, or -Inf for an empty slice.
+func Max(x []float64) float64 {
+	best := math.Inf(-1)
+	for _, v := range x {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Min returns the minimum of x, or +Inf for an empty slice.
+func Min(x []float64) float64 {
+	best := math.Inf(1)
+	for _, v := range x {
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value float64 // sample value
+	P     float64 // cumulative probability in (0, 1]
+}
+
+// CDF returns the empirical CDF of x as sorted (value, probability) points.
+func CDF(x []float64) []CDFPoint {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	s := make([]float64, n)
+	copy(s, x)
+	sort.Float64s(s)
+	out := make([]CDFPoint, n)
+	for i, v := range s {
+		out[i] = CDFPoint{Value: v, P: float64(i+1) / float64(n)}
+	}
+	return out
+}
+
+// CDFAt returns the empirical probability P(X <= v) for sample x.
+func CDFAt(x []float64, v float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	count := 0
+	for _, s := range x {
+		if s <= v {
+			count++
+		}
+	}
+	return float64(count) / float64(len(x))
+}
+
+// Summary holds the descriptive statistics the experiment tables report.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Median    float64
+	P90, P95  float64
+	Min, Max  float64
+}
+
+// Summarize computes a Summary of x.
+func Summarize(x []float64) Summary {
+	if len(x) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:      len(x),
+		Mean:   Mean(x),
+		Std:    Std(x),
+		Median: Median(x),
+		P90:    Percentile(x, 90),
+		P95:    Percentile(x, 95),
+		Min:    Min(x),
+		Max:    Max(x),
+	}
+}

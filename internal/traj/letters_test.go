@@ -1,0 +1,98 @@
+package traj
+
+import (
+	"math"
+	"testing"
+
+	"rim/internal/geom"
+)
+
+func TestSupportedLettersSortedAndNonEmpty(t *testing.T) {
+	letters := SupportedLetters()
+	if len(letters) != 26 {
+		t.Fatalf("want the full A-Z alphabet, got %d letters", len(letters))
+	}
+	for i := 1; i < len(letters); i++ {
+		if letters[i] <= letters[i-1] {
+			t.Fatal("letters not sorted/unique")
+		}
+	}
+	for _, r := range []rune{'R', 'I', 'M', 'O', 'S'} {
+		if _, err := LetterPolyline(r, geom.Vec2{}, 0.2); err != nil {
+			t.Errorf("letter %q missing: %v", r, err)
+		}
+	}
+}
+
+func TestLetterPolylineScaling(t *testing.T) {
+	pts, err := LetterPolyline('I', geom.Vec2{X: 1, Y: 2}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 'I' is a vertical bar from (0.5, 0) to (0.5, 1) in the unit box.
+	if !almost(pts[0].X, 1.1, 1e-9) || !almost(pts[0].Y, 2.0, 1e-9) {
+		t.Errorf("pts[0] = %v", pts[0])
+	}
+	if !almost(pts[1].Y, 2.2, 1e-9) {
+		t.Errorf("pts[1] = %v", pts[1])
+	}
+	if _, err := LetterPolyline('@', geom.Vec2{}, 1); err == nil {
+		t.Error("unknown letter should error")
+	}
+}
+
+func TestLetterTrajectory(t *testing.T) {
+	tr, err := Letter(100, 'M', geom.Vec2{}, 0.2, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalDistance() < 0.2*3 {
+		t.Errorf("letter M path too short: %v", tr.TotalDistance())
+	}
+	// The trajectory must stay inside a generous glyph bounding box.
+	for _, s := range tr.Samples {
+		if s.Pose.Pos.X < -0.1 || s.Pose.Pos.X > 0.3 ||
+			s.Pose.Pos.Y < -0.1 || s.Pose.Pos.Y > 0.3 {
+			t.Fatalf("stroke escaped glyph box: %v", s.Pose.Pos)
+		}
+	}
+}
+
+func TestWordAdvances(t *testing.T) {
+	tr, err := Word(100, "IM", geom.Vec2{}, 0.2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second glyph must reach beyond the first glyph's box.
+	maxX := 0.0
+	for _, s := range tr.Samples {
+		if s.Pose.Pos.X > maxX {
+			maxX = s.Pose.Pos.X
+		}
+	}
+	if maxX < 0.25 {
+		t.Errorf("word did not advance: maxX = %v", maxX)
+	}
+	if _, err := Word(100, "A@", geom.Vec2{}, 0.2, 0.2); err == nil {
+		t.Error("unsupported letter in word should error")
+	}
+}
+
+func TestPolylineError(t *testing.T) {
+	truth := []geom.Vec2{{X: 0, Y: 0}, {X: 1, Y: 0}}
+	est := []geom.Vec2{{X: 0.5, Y: 0.1}, {X: 0.2, Y: -0.1}}
+	if got := PolylineError(est, truth); !almost(got, 0.1, 1e-9) {
+		t.Errorf("error = %v", got)
+	}
+	// Perfect estimate → zero error.
+	if got := PolylineError(truth, truth); got != 0 {
+		t.Errorf("perfect error = %v", got)
+	}
+	if !math.IsNaN(PolylineError(nil, truth)) {
+		t.Error("empty estimate must be NaN")
+	}
+	// Single-point truth degenerates to point distance.
+	if got := PolylineError([]geom.Vec2{{X: 3, Y: 4}}, []geom.Vec2{{X: 0, Y: 0}}); !almost(got, 5, 1e-9) {
+		t.Errorf("point error = %v", got)
+	}
+}

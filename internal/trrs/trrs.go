@@ -1,0 +1,260 @@
+// Package trrs implements the Time-Reversal Resonating Strength machinery
+// of the paper (§3.2): the TRRS similarity between channel snapshots
+// (Eq. 1/2), its average over transmit antennas for effective-bandwidth
+// expansion (Eq. 3), the virtual-massive-antenna boost that averages a
+// window of consecutive snapshots (Eq. 4), and the sliding-window TRRS
+// (alignment) matrices between antenna pairs (Eq. 5).
+//
+// Performance note: Eq. 4's virtual-massive TRRS over a window of V virtual
+// antennas is a box filter in time applied to the pairwise "base" TRRS
+// matrix base[t][l] = κ̄(H_i(t), H_j(t−l)). The engine therefore computes
+// each pair's base matrix once — O(T·(2W+1)·N·S) — and derives any V by an
+// O(T·(2W+1)) box filter, instead of the naive O(T·(2W+1)·V·N·S).
+package trrs
+
+import (
+	"math"
+
+	"rim/internal/csi"
+	"rim/internal/sigproc"
+)
+
+// Engine holds unit-normalized CSI vectors so that the TRRS of Eq. 2
+// reduces to the squared magnitude of an inner product.
+type Engine struct {
+	rate    float64
+	numAnts int
+	numTx   int
+	slots   int
+	// norm[ant][tx][slot] is the unit-norm CSI vector.
+	norm [][][][]complex128
+}
+
+// NewEngine precomputes normalized snapshots from a processed CSI series.
+func NewEngine(s *csi.Series) *Engine {
+	e := &Engine{
+		rate:    s.Rate,
+		numAnts: s.NumAnts,
+		numTx:   s.NumTx,
+		slots:   s.NumSlots(),
+		norm:    make([][][][]complex128, s.NumAnts),
+	}
+	for a := 0; a < s.NumAnts; a++ {
+		e.norm[a] = make([][][]complex128, s.NumTx)
+		for tx := 0; tx < s.NumTx; tx++ {
+			e.norm[a][tx] = make([][]complex128, e.slots)
+			for t := 0; t < e.slots; t++ {
+				v := make([]complex128, len(s.H[a][tx][t]))
+				copy(v, s.H[a][tx][t])
+				sigproc.Normalize(v)
+				e.norm[a][tx][t] = v
+			}
+		}
+	}
+	return e
+}
+
+// NewAmplitudeEngine builds an engine whose similarity discards phase: the
+// stored vectors are per-subcarrier magnitudes (normalized). This is the
+// ablation baseline for the TRRS choice — amplitude-only profiles lose the
+// time-reversal focusing effect, so their spatial resolution is far worse.
+func NewAmplitudeEngine(s *csi.Series) *Engine {
+	e := &Engine{
+		rate:    s.Rate,
+		numAnts: s.NumAnts,
+		numTx:   s.NumTx,
+		slots:   s.NumSlots(),
+		norm:    make([][][][]complex128, s.NumAnts),
+	}
+	for a := 0; a < s.NumAnts; a++ {
+		e.norm[a] = make([][][]complex128, s.NumTx)
+		for tx := 0; tx < s.NumTx; tx++ {
+			e.norm[a][tx] = make([][]complex128, e.slots)
+			for t := 0; t < e.slots; t++ {
+				src := s.H[a][tx][t]
+				v := make([]complex128, len(src))
+				for k, c := range src {
+					re, im := real(c), imag(c)
+					v[k] = complex(math.Sqrt(re*re+im*im), 0)
+				}
+				sigproc.Normalize(v)
+				e.norm[a][tx][t] = v
+			}
+		}
+	}
+	return e
+}
+
+// Rate returns the sample rate in Hz.
+func (e *Engine) Rate() float64 { return e.rate }
+
+// NumSlots returns the number of time slots.
+func (e *Engine) NumSlots() int { return e.slots }
+
+// NumAntennas returns the antenna count.
+func (e *Engine) NumAntennas() int { return e.numAnts }
+
+// Base returns the tx-averaged TRRS κ̄ (Eq. 3) between antenna i at slot ti
+// and antenna j at slot tj. Out-of-range slots yield 0.
+func (e *Engine) Base(i, j, ti, tj int) float64 {
+	if ti < 0 || tj < 0 || ti >= e.slots || tj >= e.slots {
+		return 0
+	}
+	var sum float64
+	for tx := 0; tx < e.numTx; tx++ {
+		ip := sigproc.InnerProduct(e.norm[i][tx][ti], e.norm[j][tx][tj])
+		re, im := real(ip), imag(ip)
+		sum += re*re + im*im
+	}
+	return sum / float64(e.numTx)
+}
+
+// Matrix is a TRRS (alignment) matrix between one antenna pair: Vals[t][c]
+// holds the TRRS of antenna I at slot t against antenna J at slot t−lag,
+// where lag = c − W ranges over [−W, W].
+type Matrix struct {
+	I, J int
+	W    int
+	Rate float64
+	Vals [][]float64
+}
+
+// NumSlots returns the time extent of the matrix.
+func (m *Matrix) NumSlots() int { return len(m.Vals) }
+
+// Lag converts a column index to a signed lag in slots.
+func (m *Matrix) Lag(col int) int { return col - m.W }
+
+// Col converts a signed lag in slots to a column index.
+func (m *Matrix) Col(lag int) int { return lag + m.W }
+
+// LagSeconds converts a signed lag in slots to seconds.
+func (m *Matrix) LagSeconds(lag int) float64 { return float64(lag) / m.Rate }
+
+// At returns the TRRS at slot t and signed lag (0 outside the window).
+func (m *Matrix) At(t, lag int) float64 {
+	if t < 0 || t >= len(m.Vals) || lag < -m.W || lag > m.W {
+		return 0
+	}
+	return m.Vals[t][lag+m.W]
+}
+
+// BaseMatrix computes the single-snapshot TRRS matrix between antennas i
+// and j over lags [−W, W]: base[t][l+W] = κ̄(H_i(t), H_j(t−l)).
+func (e *Engine) BaseMatrix(i, j, w int) *Matrix {
+	m := &Matrix{I: i, J: j, W: w, Rate: e.rate}
+	m.Vals = make([][]float64, e.slots)
+	width := 2*w + 1
+	flat := make([]float64, e.slots*width)
+	for t := 0; t < e.slots; t++ {
+		row := flat[t*width : (t+1)*width]
+		for c := 0; c < width; c++ {
+			tj := t - (c - w)
+			if tj >= 0 && tj < e.slots {
+				row[c] = e.Base(i, j, t, tj)
+			}
+		}
+		m.Vals[t] = row
+	}
+	return m
+}
+
+// VirtualMassive applies the Eq. 4 virtual-massive-antenna boost to a base
+// matrix: each entry becomes the average of the same lag over a window of V
+// consecutive snapshots (box filter along time, shrinking at the edges).
+// V <= 1 returns a copy.
+func VirtualMassive(base *Matrix, v int) *Matrix {
+	out := &Matrix{I: base.I, J: base.J, W: base.W, Rate: base.Rate}
+	out.Vals = make([][]float64, len(base.Vals))
+	width := 2*base.W + 1
+	flat := make([]float64, len(base.Vals)*width)
+	for t := range out.Vals {
+		out.Vals[t] = flat[t*width : (t+1)*width]
+	}
+	sigproc.BoxFilterColumns(out.Vals, base.Vals, v/2)
+	return out
+}
+
+// PairMatrix is the convenience composition used everywhere: base matrix
+// plus virtual-massive averaging with V virtual antennas.
+func (e *Engine) PairMatrix(i, j, w, v int) *Matrix {
+	return VirtualMassive(e.BaseMatrix(i, j, w), v)
+}
+
+// AverageMatrices returns the element-wise mean of several equal-shape
+// matrices — the §4.2 augmentation that merges parallel isometric antenna
+// pairs, whose alignment delays are identical. The result borrows the
+// identity of the first matrix.
+func AverageMatrices(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return nil
+	}
+	first := ms[0]
+	out := &Matrix{I: first.I, J: first.J, W: first.W, Rate: first.Rate}
+	slots := len(first.Vals)
+	width := 2*first.W + 1
+	flat := make([]float64, slots*width)
+	inv := 1 / float64(len(ms))
+	for t := 0; t < slots; t++ {
+		row := flat[t*width : (t+1)*width]
+		for _, m := range ms {
+			src := m.Vals[t]
+			for c := 0; c < width; c++ {
+				row[c] += src[c]
+			}
+		}
+		for c := 0; c < width; c++ {
+			row[c] *= inv
+		}
+		out.Vals = append(out.Vals, row)
+	}
+	return out
+}
+
+// SelfSeries returns the movement-detection series of §4.1 for antenna i:
+// s[t] = virtual-massive TRRS between antenna i at slot t and itself
+// lagSlots earlier, averaged over a window of v snapshots. Slots earlier
+// than lagSlots copy the first computable value.
+func (e *Engine) SelfSeries(i, lagSlots, v int) []float64 {
+	raw := make([]float64, e.slots)
+	for t := 0; t < e.slots; t++ {
+		if t < lagSlots {
+			raw[t] = math.NaN()
+			continue
+		}
+		raw[t] = e.Base(i, i, t, t-lagSlots)
+	}
+	// Backfill the warm-up region.
+	if lagSlots < e.slots {
+		for t := 0; t < lagSlots; t++ {
+			raw[t] = raw[lagSlots]
+		}
+	} else {
+		for t := range raw {
+			raw[t] = 1
+		}
+	}
+	if v > 1 {
+		return sigproc.MovingAverage(raw, v/2)
+	}
+	return raw
+}
+
+// ColumnMax returns, for each slot, the best lag and TRRS value in the
+// matrix row — the naive per-column argmax peak picker used as the ablation
+// baseline for the dynamic-programming tracker.
+func (m *Matrix) ColumnMax() (lags []int, vals []float64) {
+	lags = make([]int, len(m.Vals))
+	vals = make([]float64, len(m.Vals))
+	for t, row := range m.Vals {
+		best, bi := -1.0, 0
+		for c, v := range row {
+			if v > best {
+				best, bi = v, c
+			}
+		}
+		lags[t] = bi - m.W
+		vals[t] = best
+	}
+	return lags, vals
+}

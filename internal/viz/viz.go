@@ -1,0 +1,161 @@
+// Package viz renders trajectories and floorplans as ASCII art for the
+// demo binaries and examples: ground truth and estimate traces over an
+// optional wall map, with collision glyphs where they coincide.
+package viz
+
+import (
+	"math"
+	"strings"
+
+	"rim/internal/floorplan"
+	"rim/internal/geom"
+)
+
+// Canvas is a character grid over a world-coordinate viewport.
+type Canvas struct {
+	cols, rows int
+	min, max   geom.Vec2
+	grid       [][]byte
+}
+
+// NewCanvas creates a canvas of cols x rows characters covering the world
+// rectangle [min, max]. Degenerate viewports are padded to avoid division
+// by zero.
+func NewCanvas(cols, rows int, min, max geom.Vec2) *Canvas {
+	if cols < 2 {
+		cols = 2
+	}
+	if rows < 2 {
+		rows = 2
+	}
+	if max.X-min.X < 1e-9 {
+		max.X = min.X + 1
+	}
+	if max.Y-min.Y < 1e-9 {
+		max.Y = min.Y + 1
+	}
+	c := &Canvas{cols: cols, rows: rows, min: min, max: max}
+	c.grid = make([][]byte, rows)
+	for y := range c.grid {
+		c.grid[y] = make([]byte, cols)
+		for x := range c.grid[y] {
+			c.grid[y][x] = ' '
+		}
+	}
+	return c
+}
+
+// cell maps a world point to grid coordinates.
+func (c *Canvas) cell(p geom.Vec2) (int, int, bool) {
+	x := int((p.X - c.min.X) / (c.max.X - c.min.X) * float64(c.cols-1))
+	y := c.rows - 1 - int((p.Y-c.min.Y)/(c.max.Y-c.min.Y)*float64(c.rows-1))
+	if x < 0 || x >= c.cols || y < 0 || y >= c.rows {
+		return 0, 0, false
+	}
+	return x, y, true
+}
+
+// Put draws ch at world point p. Drawing '.' over '*' (or vice versa)
+// produces 'X'; structural glyphs ('#', letters) overwrite anything.
+func (c *Canvas) Put(p geom.Vec2, ch byte) {
+	x, y, ok := c.cell(p)
+	if !ok {
+		return
+	}
+	cur := c.grid[y][x]
+	switch {
+	case (cur == '.' && ch == '*') || (cur == '*' && ch == '.'):
+		c.grid[y][x] = 'X'
+	case ch == '#' || (ch >= 'A' && ch <= 'Z'):
+		c.grid[y][x] = ch
+	case cur == ' ':
+		c.grid[y][x] = ch
+	}
+}
+
+// Polyline draws a densified polyline with the given glyph.
+func (c *Canvas) Polyline(pts []geom.Vec2, ch byte) {
+	if len(pts) == 1 {
+		c.Put(pts[0], ch)
+		return
+	}
+	stepW := (c.max.X - c.min.X) / float64(c.cols)
+	for i := 1; i < len(pts); i++ {
+		a, b := pts[i-1], pts[i]
+		n := int(math.Ceil(a.Dist(b)/(stepW/2))) + 1
+		for s := 0; s <= n; s++ {
+			c.Put(a.Lerp(b, float64(s)/float64(n)), ch)
+		}
+	}
+}
+
+// Walls draws a floorplan's walls and pillars with '#'.
+func (c *Canvas) Walls(plan *floorplan.Plan) {
+	if plan == nil {
+		return
+	}
+	for _, w := range plan.Walls {
+		c.Polyline([]geom.Vec2{w.Seg.A, w.Seg.B}, '#')
+	}
+	for _, p := range plan.Pillars {
+		c.Put(p.Center(), '#')
+	}
+}
+
+// String renders the canvas.
+func (c *Canvas) String() string {
+	var b strings.Builder
+	for _, row := range c.grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TruthVsEstimate is the one-call renderer used by the demos: walls (if
+// any), the ground-truth trace as '.', the estimate as '*' ('X' where they
+// coincide), plus optional labelled markers (e.g. the AP position).
+func TruthVsEstimate(cols, rows int, plan *floorplan.Plan, truth, est []geom.Vec2, markers map[byte]geom.Vec2) string {
+	min, max := bounds(plan, truth, est, markers)
+	c := NewCanvas(cols, rows, min, max)
+	c.Walls(plan)
+	c.Polyline(truth, '.')
+	c.Polyline(est, '*')
+	for ch, p := range markers {
+		c.Put(p, ch)
+	}
+	return c.String() + "legend: .=truth  *=estimate  X=both  #=wall\n"
+}
+
+// bounds computes a padded viewport covering all drawable content.
+func bounds(plan *floorplan.Plan, truth, est []geom.Vec2, markers map[byte]geom.Vec2) (geom.Vec2, geom.Vec2) {
+	min := geom.Vec2{X: math.Inf(1), Y: math.Inf(1)}
+	max := geom.Vec2{X: math.Inf(-1), Y: math.Inf(-1)}
+	grow := func(p geom.Vec2) {
+		min.X = math.Min(min.X, p.X)
+		min.Y = math.Min(min.Y, p.Y)
+		max.X = math.Max(max.X, p.X)
+		max.Y = math.Max(max.Y, p.Y)
+	}
+	if plan != nil {
+		grow(plan.Bounds.Min)
+		grow(plan.Bounds.Max)
+	}
+	for _, p := range truth {
+		grow(p)
+	}
+	for _, p := range est {
+		grow(p)
+	}
+	for _, p := range markers {
+		grow(p)
+	}
+	if math.IsInf(min.X, 1) {
+		return geom.Vec2{}, geom.Vec2{X: 1, Y: 1}
+	}
+	pad := 0.03 * math.Max(max.X-min.X, max.Y-min.Y)
+	if pad == 0 {
+		pad = 0.5
+	}
+	return geom.Vec2{X: min.X - pad, Y: min.Y - pad}, geom.Vec2{X: max.X + pad, Y: max.Y + pad}
+}

@@ -1,0 +1,85 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"rim/internal/floorplan"
+	"rim/internal/geom"
+)
+
+func TestCanvasPutAndCollision(t *testing.T) {
+	c := NewCanvas(10, 10, geom.Vec2{}, geom.Vec2{X: 10, Y: 10})
+	p := geom.Vec2{X: 5, Y: 5}
+	c.Put(p, '.')
+	c.Put(p, '*')
+	if !strings.Contains(c.String(), "X") {
+		t.Error("collision glyph missing")
+	}
+	// Structural glyphs overwrite.
+	c.Put(p, '#')
+	if strings.Contains(c.String(), "X") {
+		t.Error("wall did not overwrite")
+	}
+	// Out-of-viewport draws are ignored.
+	c.Put(geom.Vec2{X: 99, Y: 99}, '*')
+	if strings.Count(c.String(), "*") != 0 {
+		t.Error("out-of-viewport point drawn")
+	}
+}
+
+func TestPolylineDense(t *testing.T) {
+	c := NewCanvas(20, 5, geom.Vec2{}, geom.Vec2{X: 20, Y: 5})
+	c.Polyline([]geom.Vec2{{X: 1, Y: 2}, {X: 18, Y: 2}}, '.')
+	// A horizontal line must fill (nearly) every column it spans.
+	best := 0
+	for _, row := range strings.Split(c.String(), "\n") {
+		if n := strings.Count(row, "."); n > best {
+			best = n
+		}
+	}
+	if best < 15 {
+		t.Errorf("sparse polyline (max %d dots per row):\n%s", best, c)
+	}
+	// Single point polyline.
+	c2 := NewCanvas(10, 5, geom.Vec2{}, geom.Vec2{X: 10, Y: 5})
+	c2.Polyline([]geom.Vec2{{X: 5, Y: 2}}, '*')
+	if strings.Count(c2.String(), "*") != 1 {
+		t.Error("single-point polyline")
+	}
+}
+
+func TestWallsAndMarkers(t *testing.T) {
+	var plan floorplan.Plan
+	plan.Bounds = geom.Rect{Max: geom.Vec2{X: 10, Y: 10}}
+	plan.AddWall(geom.Vec2{X: 0, Y: 5}, geom.Vec2{X: 10, Y: 5}, 4)
+	plan.AddPillar(geom.Rect{Min: geom.Vec2{X: 2, Y: 2}, Max: geom.Vec2{X: 3, Y: 3}})
+	out := TruthVsEstimate(30, 15, &plan,
+		[]geom.Vec2{{X: 1, Y: 1}, {X: 8, Y: 1}},
+		[]geom.Vec2{{X: 1, Y: 1}, {X: 8, Y: 1.4}},
+		map[byte]geom.Vec2{'A': {X: 9, Y: 9}})
+	for _, want := range []string{"#", ".", "*", "A", "legend"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDegenerateViewport(t *testing.T) {
+	// All content at one point: must not divide by zero.
+	out := TruthVsEstimate(10, 5, nil,
+		[]geom.Vec2{{X: 3, Y: 3}}, nil, nil)
+	if !strings.Contains(out, ".") {
+		t.Errorf("point not drawn:\n%s", out)
+	}
+	// Nothing at all.
+	empty := TruthVsEstimate(10, 5, nil, nil, nil, nil)
+	if !strings.Contains(empty, "legend") {
+		t.Error("empty render broken")
+	}
+	// Tiny canvas clamps.
+	c := NewCanvas(1, 1, geom.Vec2{}, geom.Vec2{})
+	if c.String() == "" {
+		t.Error("tiny canvas empty")
+	}
+}

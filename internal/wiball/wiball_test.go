@@ -1,0 +1,104 @@
+package wiball
+
+import (
+	"math"
+	"testing"
+
+	"rim/internal/array"
+	"rim/internal/csi"
+	"rim/internal/geom"
+	"rim/internal/rf"
+	"rim/internal/traj"
+)
+
+func collect(t *testing.T, tr *traj.Trajectory, seed int64) *csi.Series {
+	t.Helper()
+	cfg := rf.FastConfig()
+	env := rf.NewEnvironment(cfg, geom.Vec2{}, geom.Vec2{X: 10, Y: 0}, nil)
+	arr := array.NewLinear3(0.029)
+	s, err := csi.Collect(env, arr, tr, csi.RealisticReceiver(seed)).Process(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSpeedOnConstantMove(t *testing.T) {
+	// 0.3 m/s: the Jakes dip sits at τ0 = 0.383·λ/v ≈ 74 ms ≈ 7 slots at
+	// 100 Hz — well within the window. WiBall's lag quantization limits
+	// accuracy to roughly one slot (~15%), which is exactly why the paper
+	// calls its accuracy "decimeter-level".
+	speed := 0.3
+	tr := traj.Line(100, geom.Vec2{X: 10, Y: 0}, 0, 0, 1.2, speed)
+	s := collect(t, tr, 1)
+	res := EstimateSpeed(s, DefaultConfig())
+	if len(res.Speed) != s.NumSlots() {
+		t.Fatalf("speed slots = %d", len(res.Speed))
+	}
+	mid := res.Speed[len(res.Speed)/2]
+	if math.Abs(mid-speed) > 0.12 {
+		t.Errorf("mid-trace speed = %.3f, want %.3f ± 0.12", mid, speed)
+	}
+	if math.Abs(res.Distance-1.2) > 0.45 {
+		t.Errorf("distance = %.2f, want 1.2 ± 0.45 (decimeter-level)", res.Distance)
+	}
+}
+
+func TestStaticReportsZero(t *testing.T) {
+	b := traj.NewBuilder(100, geom.Pose{Pos: geom.Vec2{X: 10, Y: 0}})
+	b.Pause(1.5)
+	s := collect(t, b.Build(), 2)
+	res := EstimateSpeed(s, DefaultConfig())
+	if res.Distance > 0.1 {
+		t.Errorf("static distance = %.2f, want ~0", res.Distance)
+	}
+}
+
+func TestSpeedScalesWithMotion(t *testing.T) {
+	// Faster motion must produce a proportionally larger estimate — the
+	// dip lag halves when the speed doubles.
+	est := func(speed float64) float64 {
+		tr := traj.Line(100, geom.Vec2{X: 10, Y: 0}, 0, 0, speed*2.5, speed)
+		s := collect(t, tr, 3)
+		res := EstimateSpeed(s, DefaultConfig())
+		return res.Speed[len(res.Speed)/2]
+	}
+	v1 := est(0.2)
+	v2 := est(0.4)
+	if v2 < 1.5*v1 {
+		t.Errorf("speed not scaling: est(0.2)=%.3f est(0.4)=%.3f", v1, v2)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	b := traj.NewBuilder(100, geom.Pose{Pos: geom.Vec2{X: 10, Y: 0}})
+	b.Pause(0.05) // 5 slots: shorter than any usable lag window
+	s := collect(t, b.Build(), 4)
+	cfg := DefaultConfig()
+	cfg.MaxLagSeconds = 0.01
+	res := EstimateSpeed(s, cfg)
+	if res.Distance != 0 {
+		t.Errorf("degenerate window distance = %v", res.Distance)
+	}
+	// Zero-value config must be filled with defaults, not crash.
+	res2 := EstimateSpeed(s, Config{})
+	if res2 == nil {
+		t.Fatal("nil result")
+	}
+}
+
+func TestFirstMinimum(t *testing.T) {
+	// A clean dip at index 3 (lag 4).
+	acf := []float64{0.9, 0.7, 0.5, 0.3, 0.5, 0.7}
+	if got := firstMinimum(acf, 0.25); got != 4 {
+		t.Errorf("firstMinimum = %d, want 4", got)
+	}
+	// Monotone decay: no local minimum.
+	if got := firstMinimum([]float64{0.9, 0.8, 0.7, 0.6}, 0.25); got != -1 {
+		t.Errorf("monotone decay returned %d", got)
+	}
+	// Dip not deep enough.
+	if got := firstMinimum([]float64{0.95, 0.9, 0.85, 0.9, 0.95}, 0.25); got != -1 {
+		t.Errorf("shallow dip returned %d", got)
+	}
+}
