@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	rimtrack [-ap 0] [-seed 1] [-speed 0.5] [-fused]
+//	rimtrack [-ap 0] [-seed 1] [-speed 0.5] [-fused] [-loss 0.3] [-dead-ant 2]
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 	"rim/internal/core"
 	"rim/internal/csi"
 	"rim/internal/experiments"
+	"rim/internal/faults"
 	"rim/internal/floorplan"
 	"rim/internal/fusion"
 	"rim/internal/geom"
@@ -34,6 +35,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	speed := flag.Float64("speed", 0.5, "cart speed, m/s")
 	fused := flag.Bool("fused", false, "fuse RIM distance with gyro heading + particle filter (Fig. 21) instead of pure RIM")
+	lossFrac := flag.Float64("loss", 0, "inject Gilbert–Elliott bursty packet loss with this mean loss fraction")
+	deadAnt := flag.Int("dead-ant", -1, "antenna index with a dead RF chain from -dead-from seconds on (-1 = none)")
+	deadFrom := flag.Float64("dead-from", 2, "time at which -dead-ant fails, seconds")
 	flag.Parse()
 
 	office := floorplan.NewOffice()
@@ -64,8 +68,20 @@ func main() {
 	tr := b.Build()
 	tr.AddLateralSway(0.004, 0.9)
 
+	rcv := csi.RealisticReceiver(*seed)
+	if *lossFrac > 0 || *deadAnt >= 0 {
+		fm := &faults.Model{Seed: *seed}
+		if *lossFrac > 0 {
+			fm.Loss = faults.NewGilbertElliott(*lossFrac, 20)
+		}
+		if *deadAnt >= 0 {
+			fm.Dropouts = []faults.Dropout{{Antenna: *deadAnt, Start: *deadFrom}}
+		}
+		rcv.Faults = fm
+	}
+
 	arr := array.NewHexagonal(experiments.Spacing)
-	series, err := csi.Collect(env, arr, tr, csi.RealisticReceiver(*seed)).Process(true)
+	series, err := csi.Collect(env, arr, tr, rcv).Process(true)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rimtrack:", err)
 		os.Exit(1)
@@ -80,7 +96,7 @@ func main() {
 	if *fused {
 		mode = "RIM distance + gyro heading + particle filter"
 		arr3 := array.NewLinear3(experiments.Spacing)
-		series, err = csi.Collect(env, arr3, tr, csi.RealisticReceiver(*seed)).Process(true)
+		series, err = csi.Collect(env, arr3, tr, rcv).Process(true)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rimtrack:", err)
 			os.Exit(1)
@@ -105,8 +121,14 @@ func main() {
 	fmt.Printf("RIM indoor tracking demo — %s\n", mode)
 	fmt.Printf("AP #%d at (%.1f, %.1f) — %s to the experiment area\n",
 		*apID, ap.Pos.X, ap.Pos.Y, losStr(env, area))
-	fmt.Printf("path length %.1f m (estimated %.1f m), median error %.2f m, P90 %.2f m\n\n",
+	fmt.Printf("path length %.1f m (estimated %.1f m), median error %.2f m, P90 %.2f m\n",
 		res.TruthDistance, res.EstimatedDistance, res.MedianError, res.P90Error)
+	if res.Core != nil {
+		if df := res.Core.DegradedFraction(); df > 0 {
+			fmt.Printf("degraded slots: %.0f%% (packet loss / dead chains / analysis fallbacks)\n", df*100)
+		}
+	}
+	fmt.Println()
 	fmt.Print(viz.TruthVsEstimate(91, 35, &office.Plan, res.Truth, res.Estimated,
 		map[byte]geom.Vec2{'A': ap.Pos}))
 

@@ -86,6 +86,7 @@ func Fused(s *csi.Series, cfg core.Config, readings []imu.Reading, fcfg FusedCon
 		return nil, err
 	}
 	speeds := res.SpeedSeries()
+	quality := res.QualitySeries()
 	n := len(speeds)
 	if len(readings) < n {
 		n = len(readings)
@@ -100,6 +101,7 @@ func Fused(s *csi.Series, cfg core.Config, readings []imu.Reading, fcfg FusedCon
 			inputs[i] = fusion.Input{
 				DistDelta:  speeds[i] * dt,
 				ThetaDelta: readings[i].Gyro * dt,
+				Quality:    quality[i],
 			}
 		}
 		for _, pose := range f.TrackAll(inputs) {

@@ -141,6 +141,29 @@ func (a *Array) ParallelGroups(angTol, sepTol float64) []ParallelGroup {
 	return groups
 }
 
+// Subset returns a new Array keeping only the antennas at the given global
+// indices (strictly ascending). It is the geometric basis of degraded
+// operation: when an RF chain dies mid-stream, the pipeline re-derives the
+// pair groups from the surviving elements and keeps measuring with them.
+// Element positions stay in the original body frame, so headings from the
+// reduced array remain directly comparable with full-array output.
+func (a *Array) Subset(idx []int) (*Array, error) {
+	if len(idx) == 0 {
+		return nil, fmt.Errorf("array: empty antenna subset")
+	}
+	out := &Array{Name: fmt.Sprintf("%s/sub%d", a.Name, len(idx))}
+	prev := -1
+	for _, i := range idx {
+		if i <= prev || i < 0 || i >= len(a.Antennas) {
+			return nil, fmt.Errorf("array: subset indices must be strictly ascending and in [0,%d): got %v",
+				len(a.Antennas), idx)
+		}
+		prev = i
+		out.Antennas = append(out.Antennas, a.Antennas[i])
+	}
+	return out, nil
+}
+
 // AdjacentRing returns the ordered ring of adjacent pairs for circular
 // arrays (antenna i with antenna (i+1) mod n), used for rotation detection:
 // during an in-place rotation every adjacent pair aligns simultaneously.

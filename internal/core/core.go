@@ -131,6 +131,15 @@ type Estimate struct {
 	Speed       float64 // m/s (translation) or arc speed (rotation)
 	HeadingBody float64 // body-frame heading, NaN when not translating
 	AngVel      float64 // rad/s, CCW positive, non-zero when rotating
+	// Confidence is the §4.3 post-check confidence of the alignment that
+	// produced this slot's motion ([0,1]; 0 for static or unresolved
+	// slots). Downstream consumers weight or skip low-confidence slots.
+	Confidence float64
+	// Degraded marks slots produced under data-quality trouble: a large
+	// fraction of antennas missing, a dead-antenna sub-array fallback, or
+	// an analysis failure placeholder. Degraded estimates are safe (never
+	// NaN speeds) but should be weighted down by consumers.
+	Degraded bool
 }
 
 // Result is the full pipeline output.
@@ -175,7 +184,16 @@ type Pipeline struct {
 	// (walking humans) barely touches it. Used to veto implausible
 	// speed claims in churn-inflated segments.
 	fastInd []float64
+	// missFrac[t] is the fraction of antennas whose slot t sample was
+	// interpolated (from the series' Missing mask); slots above
+	// degradedMissFrac are marked Estimate.Degraded.
+	missFrac []float64
 }
+
+// degradedMissFrac is the per-slot missing-antenna fraction above which an
+// estimate is flagged degraded: with a third of the array interpolated the
+// TRRS averages lean on fabricated data.
+const degradedMissFrac = 1.0 / 3
 
 // NewPipeline builds the pipeline for one CSI series.
 func NewPipeline(s *csi.Series, cfg Config) (*Pipeline, error) {
@@ -205,6 +223,18 @@ func NewPipeline(s *csi.Series, cfg Config) (*Pipeline, error) {
 		cfg.SpeedSmoothHalf = int(s.Rate / 20)
 	}
 	p := &Pipeline{cfg: cfg, eng: trrs.NewEngine(s)}
+	if s.Missing != nil {
+		p.missFrac = make([]float64, s.NumSlots())
+		for t := range p.missFrac {
+			miss := 0
+			for a := 0; a < s.NumAnts && a < len(s.Missing); a++ {
+				if t < len(s.Missing[a]) && s.Missing[a][t] {
+					miss++
+				}
+			}
+			p.missFrac[t] = float64(miss) / float64(s.NumAnts)
+		}
+	}
 	p.w = int(math.Round(cfg.WindowSeconds * s.Rate))
 	if p.w < 3 {
 		p.w = 3
@@ -306,6 +336,9 @@ func (p *Pipeline) Process() *Result {
 	dt := 1 / rate
 	for t := range res.Estimates {
 		res.Estimates[t] = Estimate{T: float64(t) * dt, HeadingBody: math.NaN()}
+		if p.missFrac != nil && t < len(p.missFrac) && p.missFrac[t] >= degradedMissFrac {
+			res.Estimates[t].Degraded = true
+		}
 	}
 
 	minLen := int(p.cfg.MinSegmentSeconds * rate)

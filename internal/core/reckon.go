@@ -65,3 +65,36 @@ func (r *Result) SpeedSeries() []float64 {
 	}
 	return out
 }
+
+// QualitySeries returns a per-slot reliability weight in (0,1] for fusion
+// and downstream consumers: the alignment confidence where the slot is
+// moving and resolved, 1 for clean static slots, and capped at 0.3 for
+// degraded slots (loss bursts, dead antennas, analysis fallbacks).
+func (r *Result) QualitySeries() []float64 {
+	out := make([]float64, len(r.Estimates))
+	for i, e := range r.Estimates {
+		q := 1.0
+		if e.Moving && e.Confidence > 0 {
+			q = e.Confidence
+		}
+		if e.Degraded && q > 0.3 {
+			q = 0.3
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// DegradedFraction returns the fraction of slots flagged degraded.
+func (r *Result) DegradedFraction() float64 {
+	if len(r.Estimates) == 0 {
+		return 0
+	}
+	n := 0
+	for _, e := range r.Estimates {
+		if e.Degraded {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Estimates))
+}

@@ -42,18 +42,20 @@ func (p *Pipeline) tryRotation(start, end int, res *Result) (bool, SegmentResult
 	// adjacent ring elements: a regular m-ring subtends 2π/m per element,
 	// so arc = 2πr/m (π/3·Δd for the hexagon, §4.4).
 	arc := 2 * math.Pi * r / float64(len(p.ring))
-	var medLags []float64
+	var medLags, confs []float64
 	tracks := make([]*align.Track, 0, len(p.ring))
 	settled := start + (end-start)/4 // skip the blind first quarter
 	for _, gm := range p.ring {
 		tr := p.trackMatrix(gm.m, start, end)
-		if align.PostCheck(tr, p.cfg.PostCheck) == 0 {
+		conf := align.PostCheck(tr, p.cfg.PostCheck)
+		if conf == 0 {
 			continue
 		}
 		// Judge lag consistency on the settled region only.
 		probe := p.trackMatrix(gm.m, settled, end)
 		tracks = append(tracks, tr)
 		medLags = append(medLags, probe.MedianLag())
+		confs = append(confs, conf)
 	}
 	if len(tracks) == 0 {
 		return false, SegmentResult{}
@@ -65,16 +67,19 @@ func (p *Pipeline) tryRotation(start, end int, res *Result) (bool, SegmentResult
 	consistent := 0
 	tol := math.Max(3, 0.3*math.Abs(gmed))
 	keep := tracks[:0]
+	var confSum float64
 	for i, tr := range tracks {
 		if math.Abs(medLags[i]-gmed) <= tol {
 			consistent++
 			keep = append(keep, tr)
+			confSum += confs[i]
 		}
 	}
 	if float64(consistent) < p.cfg.RotationMinRingFrac*float64(len(p.ring)) {
 		return false, SegmentResult{}
 	}
 	tracks = keep
+	conf := confSum / float64(consistent)
 	// Blind start: no pair aligns before the body has rotated 2π/m, i.e.
 	// before |gmed| slots; lags tracked there are spurious. Also reject
 	// implausibly small lags anywhere (they would explode the speed).
@@ -117,6 +122,7 @@ func (p *Pipeline) tryRotation(start, end int, res *Result) (bool, SegmentResult
 		e.Kind = MotionRotate
 		e.AngVel = angVel[k]
 		e.Speed = math.Abs(angVel[k]) * r
+		e.Confidence = conf
 	}
 	// Compensate the blind start (§5's minimum initial motion, rotation
 	// form): the first alignment only happens after 2π/m of rotation.
@@ -127,8 +133,9 @@ func (p *Pipeline) tryRotation(start, end int, res *Result) (bool, SegmentResult
 	}
 	return true, SegmentResult{
 		Start: start, End: end,
-		Kind:  MotionRotate,
-		Angle: angle,
+		Kind:       MotionRotate,
+		Angle:      angle,
+		Confidence: conf,
 	}
 }
 
@@ -379,6 +386,7 @@ func (p *Pipeline) translate(start, end int, res *Result) SegmentResult {
 			e.Moving = true
 			e.Kind = MotionTranslate
 			e.Speed = speed[k]
+			e.Confidence = best.conf
 			h := dir
 			if !headPos[k] {
 				h = geom.NormalizeAngle(dir + math.Pi)

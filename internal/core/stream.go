@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"rim/internal/csi"
+	"rim/internal/sigproc"
 )
 
 // StreamConfig parameterizes the real-time wrapper.
@@ -20,7 +22,53 @@ type StreamConfig struct {
 	// older than the guard region, so output latency is roughly
 	// Core.WindowSeconds + HopSeconds.
 	HopSeconds float64
+	// DeadMissFrac declares an antenna dead when the fraction of its
+	// samples missing/rejected over the trailing detection window reaches
+	// this level (default 0.9); it revives below half of it.
+	DeadMissFrac float64
+	// DeadEnergyFrac declares an antenna dead when its smoothed CSI power
+	// falls below this fraction of the median power of the other antennas
+	// (default 0.02, i.e. -17 dB — far below any AGC step, far above a
+	// noise-only dead RF chain); it revives above 5x it.
+	DeadEnergyFrac float64
+	// DegradedMissFrac marks an emitted estimate degraded when the
+	// fraction of antennas with missing samples at its slot reaches this
+	// level (default 1/3).
+	DegradedMissFrac float64
 }
+
+// Health is the stream's data-quality surface: instead of silently
+// swallowing trouble, the Streamer accounts for every lost sample,
+// rejected frame, dead RF chain and failed analysis here.
+type Health struct {
+	// Slots is the number of snapshots ingested.
+	Slots int
+	// LossRate is the fraction of (antenna, slot) samples that arrived
+	// missing or were rejected at ingest.
+	LossRate float64
+	// CorruptSlots counts snapshots with at least one NaN/Inf/garbage row
+	// rejected at ingest.
+	CorruptSlots int
+	// DeadAntennas lists the antenna indices currently considered dead
+	// (persistently missing or energy-starved RF chains).
+	DeadAntennas []int
+	// Fallback reports whether analysis currently runs on a reduced
+	// sub-array because of dead antennas.
+	Fallback bool
+	// ConsecutiveFailures counts analysis failures since the last
+	// successful window; TotalFailures counts them over the stream's life.
+	ConsecutiveFailures int
+	TotalFailures       int
+	// LastError is the most recent analysis error (nil after a success).
+	LastError error
+}
+
+// ErrAnalysis tags errors originating in the sliding-window analysis, as
+// opposed to ingest (shape) errors. The stream stays usable after one: the
+// failed window is emitted as degraded placeholder estimates and the error
+// is recorded in Health, so callers that want the stream to keep going can
+// errors.Is(err, ErrAnalysis) and continue.
+var ErrAnalysis = errors.New("core: stream analysis failed")
 
 // Streamer is the incremental (real-time) front end of the pipeline, the
 // equivalent of the paper's §5 C++ online system: CSI snapshots are pushed
@@ -28,6 +76,12 @@ type StreamConfig struct {
 // bounded latency. Internally it reruns the batch pipeline over a sliding
 // window — one rerun costs a few milliseconds (see
 // BenchmarkComplexityFullPipeline), far below the packet budget.
+//
+// The Streamer is built to degrade gracefully on commodity-CSI faults:
+// missing samples are masked (not fabricated as present), NaN/corrupt
+// snapshots are rejected at ingest, a dead RF chain is detected mid-stream
+// and analysis falls back to the surviving antennas, and every incident is
+// surfaced through Health.
 type Streamer struct {
 	cfg     StreamConfig
 	rate    float64
@@ -38,6 +92,13 @@ type Streamer struct {
 	span, hop, guard int
 	// buf[ant][tx] holds the windowed snapshots.
 	buf [][][][]complex128
+	// missing[ant] flags windowed slots whose sample was lost, rejected
+	// or substituted; it trims in lockstep with buf and flows into
+	// csi.Series.Missing instead of being fabricated as all-present.
+	missing [][]bool
+	// lastGood[ant][tx] is the last accepted row, substituted for missing
+	// samples (zero rows before any sample arrived).
+	lastGood [][][]complex128
 	// dropped counts slots discarded from the front of buf.
 	dropped int
 	// finalized is the absolute slot index up to which estimates have
@@ -45,6 +106,25 @@ type Streamer struct {
 	finalized int
 	// pending counts slots accumulated since the last analysis.
 	pending int
+
+	// Health accounting.
+	samples      int
+	missTotal    int
+	corruptSlots int
+	failures     int
+	totalFails   int
+	lastErr      error
+
+	// Dead-antenna detection state: a ring buffer of the last deadWin
+	// per-antenna missing flags plus an EMA of per-antenna CSI power.
+	deadWin    int
+	recentMiss [][]bool
+	recentCnt  []int
+	recentIdx  int
+	recentN    int
+	energyEMA  []float64
+	emaAlpha   float64
+	dead       []bool
 }
 
 // NewStreamer builds a streaming pipeline for CSI with the given shape.
@@ -52,6 +132,13 @@ type Streamer struct {
 func NewStreamer(cfg StreamConfig, rate float64, numAnts, numTx, numSub int) (*Streamer, error) {
 	if cfg.Core.Array == nil {
 		return nil, fmt.Errorf("core: StreamConfig.Core.Array is required")
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("core: stream rate must be positive, got %v", rate)
+	}
+	if numAnts <= 0 || numTx <= 0 || numSub <= 0 {
+		return nil, fmt.Errorf("core: stream shape (%d antennas, %d tx, %d tones) must be positive",
+			numAnts, numTx, numSub)
 	}
 	if cfg.Core.Array.NumAntennas() != numAnts {
 		return nil, fmt.Errorf("core: array has %d antennas but stream has %d",
@@ -62,6 +149,15 @@ func NewStreamer(cfg StreamConfig, rate float64, numAnts, numTx, numSub int) (*S
 	}
 	if cfg.HopSeconds <= 0 {
 		cfg.HopSeconds = 0.5
+	}
+	if cfg.DeadMissFrac <= 0 || cfg.DeadMissFrac > 1 {
+		cfg.DeadMissFrac = 0.9
+	}
+	if cfg.DeadEnergyFrac <= 0 {
+		cfg.DeadEnergyFrac = 0.02
+	}
+	if cfg.DegradedMissFrac <= 0 {
+		cfg.DegradedMissFrac = 1.0 / 3
 	}
 	w := cfg.Core.WindowSeconds
 	if w <= 0 {
@@ -81,9 +177,30 @@ func NewStreamer(cfg StreamConfig, rate float64, numAnts, numTx, numSub int) (*S
 		guard:   int(math.Ceil(w * rate)),
 	}
 	st.buf = make([][][][]complex128, numAnts)
+	st.missing = make([][]bool, numAnts)
+	st.lastGood = make([][][]complex128, numAnts)
 	for a := range st.buf {
 		st.buf[a] = make([][][]complex128, numTx)
+		st.lastGood[a] = make([][]complex128, numTx)
 	}
+	st.deadWin = int(rate)
+	if st.deadWin < 20 {
+		st.deadWin = 20
+	}
+	st.recentMiss = make([][]bool, numAnts)
+	for a := range st.recentMiss {
+		st.recentMiss[a] = make([]bool, st.deadWin)
+	}
+	st.recentCnt = make([]int, numAnts)
+	st.energyEMA = make([]float64, numAnts)
+	for a := range st.energyEMA {
+		st.energyEMA[a] = -1 // unset
+	}
+	st.emaAlpha = 4 / rate
+	if st.emaAlpha > 1 {
+		st.emaAlpha = 1
+	}
+	st.dead = make([]bool, numAnts)
 	return st, nil
 }
 
@@ -92,15 +209,67 @@ func (st *Streamer) Latency() float64 {
 	return (float64(st.guard) + float64(st.hop)) / st.rate
 }
 
-// Push ingests one CSI snapshot (shape [ant][tx][tone], already sanitized —
-// use csi.Trace.Process or equivalent preprocessing) and returns any newly
-// finalized per-slot estimates, oldest first. The returned Estimate.T is
-// the absolute time since the stream began.
+// Health returns a snapshot of the stream's data-quality state.
+func (st *Streamer) Health() Health {
+	h := Health{
+		Slots:               st.samples,
+		CorruptSlots:        st.corruptSlots,
+		ConsecutiveFailures: st.failures,
+		TotalFailures:       st.totalFails,
+		LastError:           st.lastErr,
+	}
+	if st.samples > 0 {
+		h.LossRate = float64(st.missTotal) / float64(st.samples*st.numAnts)
+	}
+	for a, d := range st.dead {
+		if d {
+			h.DeadAntennas = append(h.DeadAntennas, a)
+		}
+	}
+	h.Fallback = len(h.DeadAntennas) > 0
+	return h
+}
+
+// Push ingests one CSI snapshot with every antenna present (shape
+// [ant][tx][tone]) and returns any newly finalized per-slot estimates,
+// oldest first. The returned Estimate.T is the absolute time since the
+// stream began. See PushMasked for the error contract.
 func (st *Streamer) Push(snapshot [][][]complex128) ([]Estimate, error) {
+	return st.PushMasked(snapshot, nil)
+}
+
+// PushMasked ingests one CSI snapshot with per-antenna availability:
+// missing[a] marks antenna a's sample as lost or interpolated this slot,
+// so the loss mask flows into the analysis instead of being fabricated as
+// all-present. A missing antenna's rows may carry a caller-side
+// interpolation (used as the substitute) or be nil (the last good row is
+// held). Rows containing NaN/Inf or garbage amplitudes are rejected and
+// treated as missing — a single NaN would otherwise poison every TRRS
+// window that touches it.
+//
+// The snapshot is validated in full before any internal state changes, so
+// a shape error never leaves a partially appended slot behind. Shape
+// errors are returned as plain errors; analysis failures are returned
+// wrapped in ErrAnalysis (with degraded placeholder estimates), recorded
+// in Health, and leave the stream usable.
+func (st *Streamer) PushMasked(snapshot [][][]complex128, missing []bool) ([]Estimate, error) {
+	// Phase 1: full validation, no mutation (a snapshot rejected at
+	// antenna k must not have appended rows for antennas < k).
 	if len(snapshot) != st.numAnts {
 		return nil, fmt.Errorf("core: snapshot has %d antennas, want %d", len(snapshot), st.numAnts)
 	}
+	if missing != nil && len(missing) != st.numAnts {
+		return nil, fmt.Errorf("core: missing mask has %d antennas, want %d", len(missing), st.numAnts)
+	}
+	absent := make([]bool, st.numAnts)
+	corrupt := false
 	for a := 0; a < st.numAnts; a++ {
+		if missing != nil && missing[a] {
+			absent[a] = true
+			if snapshot[a] == nil {
+				continue // hold-last substitution
+			}
+		}
 		if len(snapshot[a]) != st.numTx {
 			return nil, fmt.Errorf("core: snapshot antenna %d has %d tx, want %d",
 				a, len(snapshot[a]), st.numTx)
@@ -110,59 +279,208 @@ func (st *Streamer) Push(snapshot [][][]complex128) ([]Estimate, error) {
 				return nil, fmt.Errorf("core: snapshot antenna %d tx %d has %d tones, want %d",
 					a, tx, len(snapshot[a][tx]), st.numSub)
 			}
-			st.buf[a][tx] = append(st.buf[a][tx], snapshot[a][tx])
+			if !absent[a] && !csi.RowSane(snapshot[a][tx]) {
+				// Corrupt sample: reject the whole antenna for this slot.
+				absent[a] = true
+				corrupt = true
+			}
 		}
 	}
+
+	// Phase 2: commit.
+	st.samples++
+	if corrupt {
+		st.corruptSlots++
+	}
+	for a := 0; a < st.numAnts; a++ {
+		var rows [][]complex128
+		switch {
+		case !absent[a]:
+			rows = snapshot[a]
+		case snapshot[a] != nil && len(snapshot[a]) == st.numTx && st.rowsShapedAndSane(snapshot[a]):
+			// Caller-side interpolation: usable data, still flagged missing.
+			rows = snapshot[a]
+		default:
+			rows = st.lastGood[a] // may hold nil entries before first sample
+		}
+		for tx := 0; tx < st.numTx; tx++ {
+			row := rows[tx]
+			if row == nil {
+				row = make([]complex128, st.numSub) // zero row: TRRS-neutral
+			}
+			st.buf[a][tx] = append(st.buf[a][tx], row)
+			if !absent[a] {
+				st.lastGood[a][tx] = row
+			}
+		}
+		st.missing[a] = append(st.missing[a], absent[a])
+		if absent[a] {
+			st.missTotal++
+		}
+	}
+	st.updateDeadDetection(absent, snapshot)
+
 	st.pending++
 	if st.pending < st.hop || st.bufLen() < st.guard*2 {
 		return nil, nil
 	}
 	st.pending = 0
-	return st.analyze(false), nil
+	return st.analyze(false)
 }
 
-// Flush finalizes everything buffered (end of stream).
+// rowsShapedAndSane reports whether a provided substitute has full shape
+// and finite values.
+func (st *Streamer) rowsShapedAndSane(rows [][]complex128) bool {
+	for tx := 0; tx < st.numTx; tx++ {
+		if len(rows[tx]) != st.numSub || !csi.RowSane(rows[tx]) {
+			return false
+		}
+	}
+	return true
+}
+
+// updateDeadDetection maintains the trailing missing-rate ring and the
+// per-antenna power EMA, then applies the dead/revive hysteresis: an
+// antenna is dead when nearly all its recent samples are missing (NIC
+// stopped reporting) or when its power collapses relative to the other
+// antennas (RF chain broke but still reports noise).
+func (st *Streamer) updateDeadDetection(absent []bool, snapshot [][][]complex128) {
+	for a := 0; a < st.numAnts; a++ {
+		if st.recentMiss[a][st.recentIdx] {
+			st.recentCnt[a]--
+		}
+		st.recentMiss[a][st.recentIdx] = absent[a]
+		if absent[a] {
+			st.recentCnt[a]++
+		}
+		if !absent[a] {
+			var e float64
+			for tx := 0; tx < st.numTx; tx++ {
+				e += sigproc.Energy(snapshot[a][tx])
+			}
+			if st.energyEMA[a] < 0 {
+				st.energyEMA[a] = e
+			} else {
+				st.energyEMA[a] += st.emaAlpha * (e - st.energyEMA[a])
+			}
+		}
+	}
+	st.recentIdx = (st.recentIdx + 1) % st.deadWin
+	if st.recentN < st.deadWin {
+		st.recentN++
+	}
+	if st.recentN < st.deadWin/2 {
+		return // not enough history to judge
+	}
+
+	// Median power of the currently-live antennas, the reference level.
+	var live []float64
+	for a := 0; a < st.numAnts; a++ {
+		if !st.dead[a] && st.energyEMA[a] >= 0 {
+			live = append(live, st.energyEMA[a])
+		}
+	}
+	medPower := 0.0
+	if len(live) > 0 {
+		medPower = sigproc.Median(live)
+	}
+
+	for a := 0; a < st.numAnts; a++ {
+		missFrac := float64(st.recentCnt[a]) / float64(st.recentN)
+		starved := medPower > 0 && st.energyEMA[a] >= 0 &&
+			st.energyEMA[a] < st.cfg.DeadEnergyFrac*medPower
+		recovered := medPower > 0 && st.energyEMA[a] >= 5*st.cfg.DeadEnergyFrac*medPower
+		if !st.dead[a] {
+			if missFrac >= st.cfg.DeadMissFrac || starved {
+				st.dead[a] = true
+			}
+		} else if missFrac < st.cfg.DeadMissFrac/2 && !starved && (recovered || medPower == 0) {
+			st.dead[a] = false
+		}
+	}
+}
+
+// Flush finalizes everything buffered (end of stream). Analysis failures
+// during a flush are recorded in Health (see Health.LastError) and yield
+// degraded placeholder estimates, so the returned series stays contiguous.
 func (st *Streamer) Flush() []Estimate {
 	if st.bufLen() == 0 {
 		return nil
 	}
-	return st.analyze(true)
+	out, _ := st.analyze(true)
+	return out
 }
 
 func (st *Streamer) bufLen() int { return len(st.buf[0][0]) }
 
+// aliveAntennas returns the indices of antennas not currently dead.
+func (st *Streamer) aliveAntennas() []int {
+	out := make([]int, 0, st.numAnts)
+	for a := 0; a < st.numAnts; a++ {
+		if !st.dead[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
 // analyze reruns the batch pipeline over the buffered window and emits the
 // estimates between the finalized frontier and the guard region (or the
-// end, when flushing).
-func (st *Streamer) analyze(flush bool) []Estimate {
+// end, when flushing). When antennas have died it falls back to the
+// surviving sub-array; when analysis is impossible or fails it emits
+// degraded placeholders so the output stays contiguous, records the
+// failure in Health, and returns the error wrapped in ErrAnalysis.
+func (st *Streamer) analyze(flush bool) ([]Estimate, error) {
 	n := st.bufLen()
-	s := &csi.Series{
-		Rate:    st.rate,
-		NumAnts: st.numAnts,
-		NumTx:   st.numTx,
-		NumSub:  st.numSub,
-		H:       st.buf,
-		Missing: make([][]bool, st.numAnts),
-	}
-	for a := range s.Missing {
-		s.Missing[a] = make([]bool, n)
-	}
-	res, err := ProcessSeries(s, st.cfg.Core)
-	if err != nil {
-		return nil
-	}
 	upTo := n - st.guard
 	if flush {
 		upTo = n
 	}
+
+	alive := st.aliveAntennas()
+	fallback := len(alive) < st.numAnts
+
+	var res *Result
+	var err error
+	if len(alive) < 2 {
+		err = fmt.Errorf("%w: only %d live antenna(s), need 2 for alignment", ErrAnalysis, len(alive))
+	} else {
+		res, err = st.analyzeAlive(alive)
+		if err != nil {
+			err = fmt.Errorf("%w: %v", ErrAnalysis, err)
+		}
+	}
+	if err != nil {
+		st.failures++
+		st.totalFails++
+		st.lastErr = err
+	} else {
+		st.failures = 0
+		st.lastErr = nil
+	}
+
 	var out []Estimate
 	dt := 1 / st.rate
 	for local := st.finalized - st.dropped; local < upTo; local++ {
-		if local < 0 || local >= len(res.Estimates) {
+		if local < 0 {
 			continue
 		}
-		e := res.Estimates[local]
+		var e Estimate
+		switch {
+		case res != nil && local < len(res.Estimates):
+			e = res.Estimates[local]
+		default:
+			// Placeholder: no analysis for this slot — never fabricate
+			// motion, never emit NaN speeds.
+			e = Estimate{HeadingBody: math.NaN(), Degraded: true}
+		}
 		e.T = float64(st.dropped+local) * dt
+		if fallback {
+			e.Degraded = true
+		}
+		if st.slotMissFrac(local) >= st.cfg.DegradedMissFrac {
+			e.Degraded = true
+		}
 		out = append(out, e)
 	}
 	if upTo > st.finalized-st.dropped {
@@ -179,14 +497,56 @@ func (st *Streamer) analyze(flush bool) []Estimate {
 			for tx := range st.buf[a] {
 				st.buf[a][tx] = st.buf[a][tx][excess:]
 			}
+			st.missing[a] = st.missing[a][excess:]
 		}
 		st.dropped += excess
 	}
-	return out
+	return out, err
+}
+
+// analyzeAlive runs the batch pipeline over the buffered window restricted
+// to the given live antennas, re-deriving the pair geometry from the
+// surviving elements when some are dead.
+func (st *Streamer) analyzeAlive(alive []int) (*Result, error) {
+	cfg := st.cfg.Core
+	if len(alive) < st.numAnts {
+		sub, err := cfg.Array.Subset(alive)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Array = sub
+	}
+	s := &csi.Series{
+		Rate:    st.rate,
+		NumAnts: len(alive),
+		NumTx:   st.numTx,
+		NumSub:  st.numSub,
+		H:       make([][][][]complex128, len(alive)),
+		Missing: make([][]bool, len(alive)),
+	}
+	for i, a := range alive {
+		s.H[i] = st.buf[a]
+		s.Missing[i] = st.missing[a]
+	}
+	return ProcessSeries(s, cfg)
+}
+
+// slotMissFrac returns the fraction of antennas whose sample at the given
+// local slot was missing or rejected.
+func (st *Streamer) slotMissFrac(local int) float64 {
+	miss := 0
+	for a := 0; a < st.numAnts; a++ {
+		if local < len(st.missing[a]) && st.missing[a][local] {
+			miss++
+		}
+	}
+	return float64(miss) / float64(st.numAnts)
 }
 
 // StreamSeries is a convenience that replays a processed Series through a
-// Streamer (testing and offline "as-if-live" analysis).
+// Streamer (testing and offline "as-if-live" analysis), feeding the
+// series' Missing mask through PushMasked. Analysis failures degrade the
+// affected slots instead of aborting the replay; ingest errors abort.
 func StreamSeries(s *csi.Series, cfg StreamConfig) ([]Estimate, error) {
 	st, err := NewStreamer(cfg, s.Rate, s.NumAnts, s.NumTx, s.NumSub)
 	if err != nil {
@@ -194,6 +554,7 @@ func StreamSeries(s *csi.Series, cfg StreamConfig) ([]Estimate, error) {
 	}
 	var out []Estimate
 	snap := make([][][]complex128, s.NumAnts)
+	miss := make([]bool, s.NumAnts)
 	for a := range snap {
 		snap[a] = make([][]complex128, s.NumTx)
 	}
@@ -202,12 +563,13 @@ func StreamSeries(s *csi.Series, cfg StreamConfig) ([]Estimate, error) {
 			for tx := 0; tx < s.NumTx; tx++ {
 				snap[a][tx] = s.H[a][tx][t]
 			}
+			miss[a] = s.Missing != nil && a < len(s.Missing) && t < len(s.Missing[a]) && s.Missing[a][t]
 		}
-		es, err := st.Push(snap)
-		if err != nil {
+		es, err := st.PushMasked(snap, miss)
+		out = append(out, es...)
+		if err != nil && !errors.Is(err, ErrAnalysis) {
 			return nil, err
 		}
-		out = append(out, es...)
 	}
 	return append(out, st.Flush()...), nil
 }

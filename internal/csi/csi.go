@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"rim/internal/array"
+	"rim/internal/faults"
 	"rim/internal/geom"
 	"rim/internal/rf"
 	"rim/internal/sigproc"
@@ -42,6 +43,12 @@ type ReceiverConfig struct {
 	ChainRippleDB float64
 	// Seed drives all receiver randomness.
 	Seed int64
+	// Faults optionally injects deployment-grade failure modes on top of
+	// the baseline impairments: bursty (Gilbert-Elliott) packet loss, dead
+	// or flapping RF chains, interference bursts, AGC gain steps, and
+	// corrupt/NaN frames. nil injects nothing. Fault randomness is driven
+	// by Faults.Seed, independent of Seed.
+	Faults *faults.Model
 }
 
 // RealisticReceiver returns impairments typical of the paper's hardware.
@@ -126,6 +133,7 @@ func nicLayout(arr *array.Array) (numNICs int, antNIC, antLocal []int) {
 func Collect(env *rf.Environment, arr *array.Array, tr *traj.Trajectory, cfg ReceiverConfig) *Trace {
 	rcfg := env.Config()
 	numNICs, antNIC, antLocal := nicLayout(arr)
+	inj := cfg.Faults.NewInjector(numNICs)
 	out := &Trace{
 		Rate:     tr.Rate,
 		NumAnts:  arr.NumAntennas(),
@@ -192,8 +200,15 @@ func Collect(env *rf.Environment, arr *array.Array, tr *traj.Trajectory, cfg Rec
 			}
 		}
 		for n := 0; n < numNICs; n++ {
+			// The bursty chain must advance every packet to keep its state
+			// machine (and hence the whole fault sequence) deterministic,
+			// so query it before the i.i.d. draw.
+			burstyLost := inj.PacketLost(n)
 			if cfg.LossProb > 0 && rng.Float64() < cfg.LossProb {
 				continue // packet lost on this NIC
+			}
+			if burstyLost {
+				continue
 			}
 			// Per-packet NIC-wide phase state.
 			common := 2 * math.Pi * cfo[n] * s.T
@@ -204,22 +219,44 @@ func Collect(env *rf.Environment, arr *array.Array, tr *traj.Trajectory, cfg Rec
 			if cfg.STOSlopeMax > 0 {
 				slope = (rng.Float64()*2 - 1) * cfg.STOSlopeMax
 			}
+			slotNoise := noiseStd * inj.NoiseBoost(s.T)
+			agc := complex(inj.Gain(n, s.T), 0)
+			corrupt, corruptNaN := inj.CorruptFrame()
 			f := &Frame{Seq: slot, T: s.T, H: make([][][]complex128, localCount[n])}
 			for a := 0; a < arr.NumAntennas(); a++ {
 				if antNIC[a] != n {
 					continue
 				}
 				la := antLocal[a]
+				dead := inj.ChainDead(a, s.T)
 				f.H[la] = make([][]complex128, rcfg.NumTxAntennas)
 				for tx := 0; tx < rcfg.NumTxAntennas; tx++ {
 					v := make([]complex128, rcfg.NumSubcarriers)
 					for k := range v {
-						v[k] = phys[a][tx][k] * chainGain[a][k]
-						if noiseStd > 0 {
-							v[k] += complex(rng.NormFloat64()*noiseStd, rng.NormFloat64()*noiseStd)
+						if !dead {
+							// A dead RF chain reports no signal, only its
+							// own noise floor — the NIC still fills the row.
+							v[k] = phys[a][tx][k] * chainGain[a][k]
 						}
+						if slotNoise > 0 {
+							v[k] += complex(rng.NormFloat64()*slotNoise, rng.NormFloat64()*slotNoise)
+						}
+						v[k] *= agc
 					}
 					sigproc.ApplyPhaseRamp(v, common, slope)
+					if corrupt {
+						if corruptNaN {
+							bad := math.NaN()
+							for k := range v {
+								v[k] = complex(bad, bad)
+							}
+						} else {
+							for k := range v {
+								re, im := inj.GarbageSample()
+								v[k] = complex(re, im)
+							}
+						}
+					}
 					f.H[la][tx] = v
 				}
 			}
@@ -232,6 +269,27 @@ func Collect(env *rf.Environment, arr *array.Array, tr *traj.Trajectory, cfg Rec
 func cmplxFromPolar(r, th float64) complex128 {
 	s, c := math.Sincos(th)
 	return complex(r*c, r*s)
+}
+
+// sampleSanityCap bounds the amplitude a real CFR sample can plausibly
+// reach; anything above it is corrupt (bit flips, DMA tearing). Physical
+// CFRs in the simulator and on hardware sit many orders of magnitude
+// below this.
+const sampleSanityCap = 1e5
+
+// RowSane reports whether every sample of a CSI row is finite and within
+// the amplitude sanity cap.
+func RowSane(v []complex128) bool {
+	for _, c := range v {
+		re, im := real(c), imag(c)
+		if math.IsNaN(re) || math.IsInf(re, 0) || math.IsNaN(im) || math.IsInf(im, 0) {
+			return false
+		}
+		if re > sampleSanityCap || re < -sampleSanityCap || im > sampleSanityCap || im < -sampleSanityCap {
+			return false
+		}
+	}
+	return true
 }
 
 // toneSlope estimates the linear phase slope across tones (radians per
@@ -311,6 +369,15 @@ func (t *Trace) Process(sanitize bool) (*Series, error) {
 			for slot := 0; slot < slots; slot++ {
 				f := t.frames[nic][slot]
 				if f == nil {
+					s.Missing[a][slot] = true
+					continue
+				}
+				// Corrupt frames (NaN/Inf from poisoned driver buffers,
+				// or wildly out-of-range garbage) are rejected at ingest
+				// and treated exactly like lost packets: interpolated and
+				// flagged Missing. Letting a single NaN through would
+				// poison every TRRS window that touches it.
+				if !RowSane(f.H[la][tx]) {
 					s.Missing[a][slot] = true
 					continue
 				}

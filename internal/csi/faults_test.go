@@ -1,0 +1,185 @@
+package csi
+
+import (
+	"math"
+	"testing"
+
+	"rim/internal/array"
+	"rim/internal/faults"
+	"rim/internal/geom"
+	"rim/internal/sigproc"
+	"rim/internal/traj"
+)
+
+func TestCollectBurstyLoss(t *testing.T) {
+	env := testEnv()
+	arr := array.NewLinear3(0.029)
+	tr := traj.Line(100, geom.Vec2{X: 10}, 0, 0, 1.0, 0.5) // 2 s
+	cfg := ReceiverConfig{
+		Faults: &faults.Model{Loss: faults.NewGilbertElliott(0.3, 15), Seed: 9},
+	}
+	trace := Collect(env, arr, tr, cfg)
+	lr := trace.LossRate()
+	if lr < 0.15 || lr > 0.5 {
+		t.Errorf("bursty loss rate = %v, want ~0.3", lr)
+	}
+	// Bursts: at least one loss run of >= 5 consecutive packets.
+	maxRun, run := 0, 0
+	for _, f := range trace.frames[0] {
+		if f == nil {
+			run++
+			if run > maxRun {
+				maxRun = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	if maxRun < 5 {
+		t.Errorf("longest loss burst = %d packets, expected bursty gaps", maxRun)
+	}
+	// The series must still process (interpolated, flagged missing).
+	s, err := trace.Process(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss := 0
+	for _, m := range s.Missing[0] {
+		if m {
+			miss++
+		}
+	}
+	if frac := float64(miss) / float64(s.NumSlots()); math.Abs(frac-lr) > 0.05 {
+		t.Errorf("missing fraction %v does not reflect loss rate %v", frac, lr)
+	}
+}
+
+func TestCollectDeadChainIsNoiseOnly(t *testing.T) {
+	env := testEnv()
+	arr := array.NewLinear3(0.029)
+	tr := traj.Line(100, geom.Vec2{X: 10}, 0, 0, 0.5, 0.5) // 1 s
+	cfg := ReceiverConfig{
+		SNRdB:  25,
+		Seed:   1,
+		Faults: &faults.Model{Dropouts: []faults.Dropout{{Antenna: 2, Start: 0.5}}},
+	}
+	s, err := Collect(env, arr, tr, cfg).Process(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eBefore := sigproc.Energy(s.H[2][0][10])
+	eAfter := sigproc.Energy(s.H[2][0][80])
+	eAlive := sigproc.Energy(s.H[0][0][80])
+	if eAfter > eBefore/10 {
+		t.Errorf("dead chain energy %v not far below live energy %v", eAfter, eBefore)
+	}
+	if eAlive < eBefore/10 {
+		t.Errorf("surviving antenna energy collapsed: %v", eAlive)
+	}
+}
+
+func TestCollectInterferenceBurstCrushesTRRS(t *testing.T) {
+	env := testEnv()
+	arr := array.NewLinear3(0.029)
+	b := traj.NewBuilder(100, geom.Pose{Pos: geom.Vec2{X: 10}})
+	b.Pause(2)
+	tr := b.Build()
+	cfg := ReceiverConfig{
+		SNRdB: 25,
+		Seed:  2,
+		Faults: &faults.Model{
+			Bursts: []faults.Burst{{Start: 1, Duration: 0.5, SNRDropDB: 30}},
+		},
+	}
+	s, err := Collect(env, arr, tr, cfg).Process(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static device: adjacent-slot TRRS is ~1 outside the burst and must
+	// collapse inside it.
+	kClean := trrs(s.H[0][0][10], s.H[0][0][20])
+	kBurst := trrs(s.H[0][0][110], s.H[0][0][120])
+	if kClean < 0.9 {
+		t.Errorf("clean static TRRS = %v", kClean)
+	}
+	if kBurst > kClean-0.2 {
+		t.Errorf("burst TRRS %v not crushed below clean %v", kBurst, kClean)
+	}
+}
+
+func TestCollectAGCStepInvisibleAfterNormalization(t *testing.T) {
+	env := testEnv()
+	arr := array.NewLinear3(0.029)
+	b := traj.NewBuilder(100, geom.Pose{Pos: geom.Vec2{X: 10}})
+	b.Pause(1)
+	tr := b.Build()
+	cfg := ReceiverConfig{
+		Seed:   3,
+		Faults: &faults.Model{AGCSteps: []faults.AGCStep{{T: 0.5, NIC: -1, GainDB: 12}}},
+	}
+	s, err := Collect(env, arr, tr, cfg).Process(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Amplitude jumps by 4x across the step...
+	aBefore := math.Sqrt(sigproc.Energy(s.H[0][0][30]))
+	aAfter := math.Sqrt(sigproc.Energy(s.H[0][0][70]))
+	if r := aAfter / aBefore; math.Abs(r-3.98) > 0.2 {
+		t.Errorf("AGC amplitude ratio = %v, want ~3.98 (12 dB)", r)
+	}
+	// ...but TRRS (normalized) is blind to it.
+	if k := trrs(s.H[0][0][30], s.H[0][0][70]); k < 0.999 {
+		t.Errorf("TRRS across AGC step = %v, want ~1", k)
+	}
+}
+
+func TestCollectCorruptFramesRejected(t *testing.T) {
+	env := testEnv()
+	arr := array.NewLinear3(0.029)
+	tr := traj.Line(100, geom.Vec2{X: 10}, 0, 0, 0.5, 0.5)
+	for _, nan := range []bool{true, false} {
+		cfg := ReceiverConfig{
+			Seed:   4,
+			Faults: &faults.Model{Corrupt: faults.Corruption{Prob: 0.2, NaN: nan}, Seed: 8},
+		}
+		s, err := Collect(env, arr, tr, cfg).Process(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		miss := 0
+		for slot := 0; slot < s.NumSlots(); slot++ {
+			for a := 0; a < s.NumAnts; a++ {
+				if s.Missing[a][slot] {
+					miss++
+					break
+				}
+			}
+			for a := 0; a < s.NumAnts; a++ {
+				for tx := 0; tx < s.NumTx; tx++ {
+					if !RowSane(s.H[a][tx][slot]) {
+						t.Fatalf("corrupt row survived Process (nan=%v, slot %d)", nan, slot)
+					}
+				}
+			}
+		}
+		if miss == 0 {
+			t.Errorf("no corrupt frames flagged missing (nan=%v)", nan)
+		}
+	}
+}
+
+func TestRowSane(t *testing.T) {
+	ok := []complex128{1 + 2i, -3, 0}
+	if !RowSane(ok) {
+		t.Error("finite row must be sane")
+	}
+	if RowSane([]complex128{1, complex(math.NaN(), 0)}) {
+		t.Error("NaN row must be insane")
+	}
+	if RowSane([]complex128{1, complex(0, math.Inf(1))}) {
+		t.Error("Inf row must be insane")
+	}
+	if RowSane([]complex128{complex(1e9, 0)}) {
+		t.Error("garbage-amplitude row must be insane")
+	}
+}

@@ -19,6 +19,11 @@ import (
 type Input struct {
 	DistDelta  float64 // meters moved this step
 	ThetaDelta float64 // heading change this step, radians
+	// Quality weights the step's reliability in (0,1]: degraded RIM slots
+	// (packet-loss bursts, dead antennas, low alignment confidence) pass
+	// their confidence here so the filter widens its diffusion instead of
+	// trusting the distance. <= 0 means unknown and is treated as 1.
+	Quality float64
 }
 
 // Config parameterizes the particle filter.
@@ -94,14 +99,23 @@ func NewFilter(plan *floorplan.Plan, initial geom.Pose, cfg Config) *Filter {
 // kills particles that cross a wall (weight 0), renormalizes, and resamples
 // when the weights degenerate. It returns the weighted mean pose estimate.
 func (f *Filter) Step(in Input) geom.Pose {
+	// Degraded inputs widen the diffusion: a slot measured through packet
+	// loss or on a reduced antenna set carries the same dead-reckoning
+	// increment but much less certainty, so the cloud must spread rather
+	// than commit.
+	q := in.Quality
+	if q <= 0 || q > 1 {
+		q = 1
+	}
+	spread := 1 + 2*(1-q)
 	var totalW float64
 	for i := range f.parts {
 		p := &f.parts[i]
 		if p.weight == 0 {
 			continue
 		}
-		p.theta = geom.NormalizeAngle(p.theta + in.ThetaDelta + f.rng.NormFloat64()*f.cfg.ThetaStd)
-		step := in.DistDelta + f.rng.NormFloat64()*f.cfg.PosStd*math.Abs(in.DistDelta)*10
+		p.theta = geom.NormalizeAngle(p.theta + in.ThetaDelta + f.rng.NormFloat64()*f.cfg.ThetaStd*spread)
+		step := in.DistDelta + f.rng.NormFloat64()*f.cfg.PosStd*math.Abs(in.DistDelta)*10*spread
 		next := p.pos.Add(geom.FromPolar(step, p.theta))
 		if f.plan != nil && f.plan.SegmentHitsWall(p.pos, next) {
 			p.weight = 0 // the paper: discard every particle that hits a wall

@@ -4,6 +4,7 @@ import (
 	"rim/internal/array"
 	"rim/internal/core"
 	"rim/internal/csi"
+	"rim/internal/faults"
 	"rim/internal/floorplan"
 	"rim/internal/fusion"
 	"rim/internal/geom"
@@ -99,6 +100,31 @@ type (
 // RealisticReceiver returns impairments typical of commodity hardware.
 func RealisticReceiver(seed int64) ReceiverConfig { return csi.RealisticReceiver(seed) }
 
+// Fault injection. A FaultModel attached to ReceiverConfig.Faults layers
+// bursty packet loss, dead/flapping RF chains, interference bursts, AGC
+// gain steps, and corrupt frames on top of the nominal receiver
+// impairments, for robustness testing of the pipeline.
+type (
+	// FaultModel is the composable fault description.
+	FaultModel = faults.Model
+	// GilbertElliott is the two-state bursty packet-loss channel.
+	GilbertElliott = faults.GilbertElliott
+	// FaultDropout is a dead or flapping RF chain.
+	FaultDropout = faults.Dropout
+	// FaultBurst is a wideband interference window that crushes SNR.
+	FaultBurst = faults.Burst
+	// FaultAGCStep is an abrupt receive-gain change.
+	FaultAGCStep = faults.AGCStep
+	// FaultCorruption injects NaN / garbage frames.
+	FaultCorruption = faults.Corruption
+)
+
+// NewGilbertElliottLoss builds a bursty-loss channel with the given mean
+// loss fraction and mean burst length in packets.
+func NewGilbertElliottLoss(meanLoss, burstLen float64) *GilbertElliott {
+	return faults.NewGilbertElliott(meanLoss, burstLen)
+}
+
 // Collect simulates CSI acquisition of a motion.
 func Collect(env *Environment, arr *Array, tr *Trajectory, rcfg ReceiverConfig) *Trace {
 	return csi.Collect(env, arr, tr, rcfg)
@@ -155,7 +181,15 @@ type (
 	Streamer = core.Streamer
 	// StreamConfig parameterizes the streamer.
 	StreamConfig = core.StreamConfig
+	// StreamHealth is the streamer's degradation report: loss rate, dead
+	// antennas, fallback mode, failure counters (Streamer.Health).
+	StreamHealth = core.Health
 )
+
+// ErrStreamAnalysis marks a recoverable analysis failure inside the
+// streamer: the affected slots are emitted as degraded placeholders and the
+// condition is recorded in StreamHealth.
+var ErrStreamAnalysis = core.ErrAnalysis
 
 // NewStreamer builds a streaming pipeline for CSI with the given shape.
 func NewStreamer(cfg StreamConfig, rate float64, numAnts, numTx, numSub int) (*Streamer, error) {
