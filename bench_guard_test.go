@@ -1,0 +1,162 @@
+package rim
+
+import (
+	"encoding/json"
+	"flag"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"rim/internal/csi"
+	"rim/internal/trrs"
+)
+
+var updateBench = flag.Bool("update-bench", false, "rewrite BENCH_trrs.json with this machine's measurements")
+
+// benchBaseline is the committed TRRS throughput baseline. The fixture
+// pins the workload (a Fast-scale random series and lag window); the
+// recorded numbers document the machine the baseline was taken on so
+// regressions are judged by the serial-vs-parallel ratio measured live,
+// never by absolute nanoseconds from someone else's hardware.
+type benchBaseline struct {
+	Fixture struct {
+		Ants  int   `json:"ants"`
+		Tx    int   `json:"tx"`
+		Sub   int   `json:"sub"`
+		Slots int   `json:"slots"`
+		W     int   `json:"w"`
+		Seed  int64 `json:"seed"`
+	} `json:"fixture"`
+	Baseline struct {
+		Cores        int     `json:"cores"`
+		SerialNsOp   float64 `json:"serial_ns_op"`
+		ParallelNsOp float64 `json:"parallel_ns_op"`
+		Speedup      float64 `json:"speedup"`
+	} `json:"baseline"`
+	Note string `json:"note"`
+}
+
+const benchBaselineFile = "BENCH_trrs.json"
+
+// guardSeries rebuilds the baseline's deterministic random fixture.
+func guardSeries(bl *benchBaseline) *csi.Series {
+	rng := rand.New(rand.NewSource(bl.Fixture.Seed))
+	f := bl.Fixture
+	s := &csi.Series{
+		Rate: 100, NumAnts: f.Ants, NumTx: f.Tx, NumSub: f.Sub,
+		H: make([][][][]complex128, f.Ants),
+	}
+	for a := 0; a < f.Ants; a++ {
+		s.H[a] = make([][][]complex128, f.Tx)
+		for tx := 0; tx < f.Tx; tx++ {
+			s.H[a][tx] = make([][]complex128, f.Slots)
+			for t := 0; t < f.Slots; t++ {
+				v := make([]complex128, f.Sub)
+				for k := range v {
+					v[k] = complex(rng.NormFloat64(), rng.NormFloat64())
+				}
+				s.H[a][tx][t] = v
+			}
+		}
+	}
+	return s
+}
+
+// measure returns the best-of-reps wall time of one BaseMatrix build.
+func measure(reps int, f func() *trrs.Matrix) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		m := f()
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+		if m == nil {
+			panic("nil matrix")
+		}
+	}
+	return best
+}
+
+// TestBenchGuard is the benchmark regression guard of the parallel TRRS
+// engine: on the committed Fast-scale fixture, the parallel BaseMatrix
+// must not fall below the serial path's live throughput. On a single-CPU
+// runner the pool degenerates to the serial loop, so a modest tolerance
+// absorbs timer noise; on multi-core runners the parallel path must
+// genuinely win. Run with -update-bench to re-record BENCH_trrs.json.
+func TestBenchGuard(t *testing.T) {
+	raw, err := os.ReadFile(benchBaselineFile)
+	if err != nil {
+		t.Fatalf("missing committed baseline: %v", err)
+	}
+	var bl benchBaseline
+	if err := json.Unmarshal(raw, &bl); err != nil {
+		t.Fatalf("corrupt %s: %v", benchBaselineFile, err)
+	}
+	if bl.Fixture.Slots <= 0 || bl.Fixture.W <= 0 || bl.Baseline.SerialNsOp <= 0 ||
+		bl.Baseline.ParallelNsOp <= 0 || bl.Baseline.Speedup <= 0 {
+		t.Fatalf("degenerate baseline: %+v", bl)
+	}
+
+	e := trrs.NewEngine(guardSeries(&bl))
+	w := bl.Fixture.W
+	const reps = 5
+	e.SetParallelism(1)
+	serial := measure(reps, func() *trrs.Matrix { return e.BaseMatrixSerial(0, 2, w) })
+	e.SetParallelism(0)
+	parallel := measure(reps, func() *trrs.Matrix { return e.BaseMatrix(0, 2, w) })
+
+	cores := runtime.GOMAXPROCS(0)
+	speedup := float64(serial) / float64(parallel)
+	t.Logf("cores=%d serial=%v parallel=%v speedup=%.2fx (baseline: %.2fx on %d cores)",
+		cores, serial, parallel, speedup, bl.Baseline.Speedup, bl.Baseline.Cores)
+
+	// Floor: parallel must never lose to serial beyond timer noise; with
+	// real parallelism available it must clearly beat it.
+	floor := 0.75
+	if cores >= 4 {
+		floor = 1.5
+	} else if cores >= 2 {
+		floor = 1.1
+	}
+	if speedup < floor {
+		t.Errorf("parallel BaseMatrix speedup %.2fx below floor %.2fx on %d cores (serial %v, parallel %v)",
+			speedup, floor, cores, serial, parallel)
+	}
+
+	if *updateBench {
+		bl.Baseline.Cores = cores
+		bl.Baseline.SerialNsOp = float64(serial.Nanoseconds())
+		bl.Baseline.ParallelNsOp = float64(parallel.Nanoseconds())
+		bl.Baseline.Speedup = speedup
+		out, err := json.MarshalIndent(&bl, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(benchBaselineFile, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", benchBaselineFile)
+	}
+}
+
+// Ensure the fixture in the JSON stays in sync with what the streaming
+// acceptance uses: W must be the Fast-scale 0.5 s window at 100 Hz.
+func TestBenchBaselineFixtureShape(t *testing.T) {
+	raw, err := os.ReadFile(benchBaselineFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bl benchBaseline
+	if err := json.Unmarshal(raw, &bl); err != nil {
+		t.Fatal(err)
+	}
+	if bl.Fixture.W != 50 || bl.Fixture.Slots < 2*bl.Fixture.W {
+		t.Fatalf("fixture shape drifted: %+v", bl.Fixture)
+	}
+	if bl.Note == "" {
+		t.Error("baseline note must document the recording machine")
+	}
+}

@@ -197,6 +197,15 @@ func BenchmarkExtWiBallComparison(b *testing.B) {
 	}
 }
 
+func BenchmarkPerfEngineThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Perf(experiments.Fast)
+		b.ReportMetric(r.BatchSpeedup, "batch-speedup")
+		b.ReportMetric(r.StreamSpeedup, "stream-speedup")
+		b.ReportMetric(r.IncrementalSlotsPerSec, "slots/s")
+	}
+}
+
 // --- §6.2.9 system complexity micro-benchmarks -------------------------
 
 // benchSeries builds a small processed CSI series once per benchmark.
@@ -228,10 +237,24 @@ func BenchmarkComplexityTRRSBase(b *testing.B) {
 
 // BenchmarkComplexityTRRSMatrix measures building one pair's full alignment
 // matrix (the per-sample cost is m·(m−1)·W TRRS values for an m-antenna
-// array).
+// array), pinned to the single-threaded path as the historical reference.
 func BenchmarkComplexityTRRSMatrix(b *testing.B) {
 	s := benchSeries(b, 200)
 	e := trrs.NewEngine(s)
+	e.SetParallelism(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.PairMatrix(0, 2, 30, 16)
+	}
+}
+
+// BenchmarkComplexityTRRSMatrixParallel is the same matrix built through
+// the worker pool at GOMAXPROCS (the pipeline's default since the engine
+// went parallel).
+func BenchmarkComplexityTRRSMatrixParallel(b *testing.B) {
+	s := benchSeries(b, 200)
+	e := trrs.NewEngine(s)
+	e.SetParallelism(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.PairMatrix(0, 2, 30, 16)

@@ -50,6 +50,7 @@ func allRunners() []runner {
 		{"AblD", func(s experiments.Scale) *experiments.Report { return experiments.AblationAmplitude(s).Report }},
 		{"ExtA", func(s experiments.Scale) *experiments.Report { return experiments.ExtWiBall(s).Report }},
 		{"ExtB", func(s experiments.Scale) *experiments.Report { return experiments.ExtHeading(s).Report }},
+		{"Perf", func(s experiments.Scale) *experiments.Report { return experiments.Perf(s).Report }},
 	}
 }
 

@@ -60,6 +60,45 @@ type Config struct {
 	// NaivePeakPicking replaces the dynamic-programming tracker with the
 	// per-column argmax (ablation).
 	NaivePeakPicking bool
+	// Parallelism is the worker count for TRRS base-matrix computation:
+	// 0 (default) uses GOMAXPROCS, 1 forces the serial reference path —
+	// the oracle the parallel and incremental engines are tested against —
+	// and n > 1 uses exactly n workers. All settings produce bit-for-bit
+	// identical matrices.
+	Parallelism int
+}
+
+// applyDefaults fills unset tuning fields with the paper's operating
+// point. Both the batch and the streaming constructors run it, so the two
+// paths analyze with identical parameters.
+func (cfg *Config) applyDefaults(rate float64) {
+	if cfg.WindowSeconds <= 0 {
+		cfg.WindowSeconds = 0.5
+	}
+	if cfg.V <= 0 {
+		cfg.V = 30
+	}
+	if cfg.MinSegmentSeconds <= 0 {
+		cfg.MinSegmentSeconds = 0.25
+	}
+	if cfg.HeadingWindowSeconds <= 0 {
+		cfg.HeadingWindowSeconds = 0.8
+	}
+	if cfg.RotationMinRingFrac <= 0 {
+		cfg.RotationMinRingFrac = 0.8
+	}
+	if cfg.SpeedSmoothHalf <= 0 {
+		cfg.SpeedSmoothHalf = int(rate / 20)
+	}
+}
+
+// windowSlots converts the one-sided lag window to slots (min 3).
+func windowSlots(windowSeconds, rate float64) int {
+	w := int(math.Round(windowSeconds * rate))
+	if w < 3 {
+		w = 3
+	}
+	return w
 }
 
 // DefaultConfig returns the paper's operating point for the given array.
@@ -204,56 +243,84 @@ func NewPipeline(s *csi.Series, cfg Config) (*Pipeline, error) {
 		return nil, fmt.Errorf("core: array has %d antennas but series has %d",
 			cfg.Array.NumAntennas(), s.NumAnts)
 	}
-	if cfg.WindowSeconds <= 0 {
-		cfg.WindowSeconds = 0.5
+	cfg.applyDefaults(s.Rate)
+	eng := trrs.NewEngine(s)
+	eng.SetParallelism(cfg.Parallelism)
+	return newPipelineFromEngine(eng, nil, missFracOf(s.Missing, s.NumAnts, s.NumSlots()), cfg)
+}
+
+// missFracOf computes the per-slot fraction of antennas whose sample was
+// missing/interpolated. A nil mask yields nil (no degradation flagging).
+func missFracOf(missing [][]bool, numAnts, slots int) []float64 {
+	if missing == nil {
+		return nil
 	}
-	if cfg.V <= 0 {
-		cfg.V = 30
-	}
-	if cfg.MinSegmentSeconds <= 0 {
-		cfg.MinSegmentSeconds = 0.25
-	}
-	if cfg.HeadingWindowSeconds <= 0 {
-		cfg.HeadingWindowSeconds = 0.8
-	}
-	if cfg.RotationMinRingFrac <= 0 {
-		cfg.RotationMinRingFrac = 0.8
-	}
-	if cfg.SpeedSmoothHalf <= 0 {
-		cfg.SpeedSmoothHalf = int(s.Rate / 20)
-	}
-	p := &Pipeline{cfg: cfg, eng: trrs.NewEngine(s)}
-	if s.Missing != nil {
-		p.missFrac = make([]float64, s.NumSlots())
-		for t := range p.missFrac {
-			miss := 0
-			for a := 0; a < s.NumAnts && a < len(s.Missing); a++ {
-				if t < len(s.Missing[a]) && s.Missing[a][t] {
-					miss++
-				}
+	out := make([]float64, slots)
+	for t := range out {
+		miss := 0
+		for a := 0; a < numAnts && a < len(missing); a++ {
+			if t < len(missing[a]) && missing[a][t] {
+				miss++
 			}
-			p.missFrac[t] = float64(miss) / float64(s.NumAnts)
 		}
+		out[t] = float64(miss) / float64(numAnts)
 	}
-	p.w = int(math.Round(cfg.WindowSeconds * s.Rate))
-	if p.w < 3 {
-		p.w = 3
+	return out
+}
+
+// newPipelineFromEngine assembles a pipeline over an existing TRRS engine.
+// baseFor supplies the per-pair base matrices (antenna indices local to
+// the engine); nil selects the default bulk computation, which fans every
+// needed pair out over one worker pool sharded by pair × time block. The
+// streaming front end passes an incremental-engine source instead. cfg
+// must already have defaults applied and an Array matching the engine's
+// antenna count.
+func newPipelineFromEngine(eng *trrs.Engine, baseFor func(i, j int) *trrs.Matrix, missFrac []float64, cfg Config) (*Pipeline, error) {
+	if cfg.Array.NumAntennas() != eng.NumAntennas() {
+		return nil, fmt.Errorf("core: array has %d antennas but engine has %d",
+			cfg.Array.NumAntennas(), eng.NumAntennas())
 	}
+	p := &Pipeline{cfg: cfg, eng: eng, missFrac: missFrac}
+	p.w = windowSlots(cfg.WindowSeconds, eng.Rate())
 
 	// Base matrices are shared between translation groups and the
-	// rotation ring.
-	cache := map[[2]int]*trrs.Matrix{}
-	baseFor := func(i, j int) *trrs.Matrix {
-		if m, ok := cache[[2]int{i, j}]; ok {
-			return m
+	// rotation ring; collect the distinct pairs first so the bulk source
+	// computes each exactly once, in one pool.
+	angTol := geom.Rad(2)
+	groups := cfg.Array.ParallelGroups(angTol, 1e-6)
+	var ring []array.Pair
+	if cfg.Array.NumAntennas() >= 4 {
+		ring = cfg.Array.AdjacentRing()
+	}
+	if baseFor == nil {
+		var pairs []trrs.PairSpec
+		seen := map[[2]int]bool{}
+		addPair := func(i, j int) {
+			if !seen[[2]int{i, j}] {
+				seen[[2]int{i, j}] = true
+				pairs = append(pairs, trrs.PairSpec{I: i, J: j})
+			}
 		}
-		m := p.eng.BaseMatrix(i, j, p.w)
-		cache[[2]int{i, j}] = m
-		return m
+		for _, g := range groups {
+			for k, pr := range g.Pairs {
+				if cfg.DisablePairAveraging && k > 0 {
+					break
+				}
+				addPair(pr.I, pr.J)
+			}
+		}
+		for _, pr := range ring {
+			addPair(pr.I, pr.J)
+		}
+		ms := eng.BaseMatrices(pairs, p.w)
+		cache := make(map[[2]int]*trrs.Matrix, len(pairs))
+		for k, spec := range pairs {
+			cache[[2]int{spec.I, spec.J}] = ms[k]
+		}
+		baseFor = func(i, j int) *trrs.Matrix { return cache[[2]int{i, j}] }
 	}
 
-	angTol := geom.Rad(2)
-	for _, g := range cfg.Array.ParallelGroups(angTol, 1e-6) {
+	for _, g := range groups {
 		var ms []*trrs.Matrix
 		for _, pr := range g.Pairs {
 			ms = append(ms, baseFor(pr.I, pr.J))
@@ -261,21 +328,29 @@ func NewPipeline(s *csi.Series, cfg Config) (*Pipeline, error) {
 				break
 			}
 		}
-		avg := trrs.AverageMatrices(ms...)
-		p.groups = append(p.groups, groupMatrix{group: g, m: trrs.VirtualMassive(avg, cfg.V)})
-	}
-	if cfg.Array.NumAntennas() >= 4 {
-		for _, pr := range cfg.Array.AdjacentRing() {
-			base := baseFor(pr.I, pr.J)
-			p.ring = append(p.ring, groupMatrix{
-				group: array.ParallelGroup{
-					Pairs:      []array.Pair{pr},
-					Direction:  cfg.Array.Direction(pr),
-					Separation: cfg.Array.Separation(pr),
-				},
-				m: trrs.VirtualMassive(base, cfg.V),
-			})
+		avg, err := trrs.AverageMatrices(ms...)
+		if err != nil {
+			return nil, fmt.Errorf("core: group matrices: %w", err)
 		}
+		vm, err := trrs.VirtualMassive(avg, cfg.V)
+		if err != nil {
+			return nil, fmt.Errorf("core: group matrices: %w", err)
+		}
+		p.groups = append(p.groups, groupMatrix{group: g, m: vm})
+	}
+	for _, pr := range ring {
+		vm, err := trrs.VirtualMassive(baseFor(pr.I, pr.J), cfg.V)
+		if err != nil {
+			return nil, fmt.Errorf("core: ring matrices: %w", err)
+		}
+		p.ring = append(p.ring, groupMatrix{
+			group: array.ParallelGroup{
+				Pairs:      []array.Pair{pr},
+				Direction:  cfg.Array.Direction(pr),
+				Separation: cfg.Array.Separation(pr),
+			},
+			m: vm,
+		})
 	}
 	return p, nil
 }

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"rim/internal/csi"
 	"rim/internal/sigproc"
+	"rim/internal/trrs"
 )
 
 // StreamConfig parameterizes the real-time wrapper.
@@ -35,6 +37,13 @@ type StreamConfig struct {
 	// fraction of antennas with missing samples at its slot reaches this
 	// level (default 1/3).
 	DegradedMissFrac float64
+	// Recompute disables the incremental TRRS engine and rebuilds the
+	// whole analysis window from scratch on every hop — the seed's
+	// behavior, kept as the reference oracle. Combined with
+	// Core.Parallelism = 1 it reproduces the fully serial pipeline; the
+	// incremental default is bit-for-bit equivalent and much cheaper per
+	// hop (see DESIGN.md, "Parallel & incremental TRRS engine").
+	Recompute bool
 }
 
 // Health is the stream's data-quality surface: instead of silently
@@ -82,7 +91,12 @@ var ErrAnalysis = errors.New("core: stream analysis failed")
 // snapshots are rejected at ingest, a dead RF chain is detected mid-stream
 // and analysis falls back to the surviving antennas, and every incident is
 // surfaced through Health.
+//
+// Streamer is goroutine-safe: Push, PushMasked, Flush and Health may be
+// called concurrently (ingest is still serialized by the internal lock, so
+// concurrent pushes interleave whole snapshots).
 type Streamer struct {
+	mu      sync.Mutex
 	cfg     StreamConfig
 	rate    float64
 	numAnts int
@@ -90,6 +104,12 @@ type Streamer struct {
 	numSub  int
 
 	span, hop, guard int
+	// wSlots is the one-sided TRRS lag window in slots, fixed so the
+	// incremental engine maintains matrices at exactly the W the
+	// per-window analysis asks for.
+	wSlots int
+	// inc is the incremental TRRS engine (nil when cfg.Recompute).
+	inc *trrs.Incremental
 	// buf[ant][tx] holds the windowed snapshots.
 	buf [][][][]complex128
 	// missing[ant] flags windowed slots whose sample was lost, rejected
@@ -163,6 +183,9 @@ func NewStreamer(cfg StreamConfig, rate float64, numAnts, numTx, numSub int) (*S
 	if w <= 0 {
 		w = 0.5
 	}
+	// Pin the defaulted window so the streamer, the per-hop analysis and
+	// the incremental engine all agree on W.
+	cfg.Core.WindowSeconds = w
 	if cfg.SpanSeconds < 3*w {
 		cfg.SpanSeconds = 3 * w
 	}
@@ -175,6 +198,15 @@ func NewStreamer(cfg StreamConfig, rate float64, numAnts, numTx, numSub int) (*S
 		span:    int(cfg.SpanSeconds * rate),
 		hop:     int(cfg.HopSeconds * rate),
 		guard:   int(math.Ceil(w * rate)),
+		wSlots:  windowSlots(w, rate),
+	}
+	if !cfg.Recompute {
+		inc, err := trrs.NewIncremental(rate, numAnts, numTx, st.wSlots)
+		if err != nil {
+			return nil, err
+		}
+		inc.SetParallelism(cfg.Core.Parallelism)
+		st.inc = inc
 	}
 	st.buf = make([][][][]complex128, numAnts)
 	st.missing = make([][]bool, numAnts)
@@ -211,6 +243,8 @@ func (st *Streamer) Latency() float64 {
 
 // Health returns a snapshot of the stream's data-quality state.
 func (st *Streamer) Health() Health {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	h := Health{
 		Slots:               st.samples,
 		CorruptSlots:        st.corruptSlots,
@@ -253,6 +287,8 @@ func (st *Streamer) Push(snapshot [][][]complex128) ([]Estimate, error) {
 // wrapped in ErrAnalysis (with degraded placeholder estimates), recorded
 // in Health, and leave the stream usable.
 func (st *Streamer) PushMasked(snapshot [][][]complex128, missing []bool) ([]Estimate, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	// Phase 1: full validation, no mutation (a snapshot rejected at
 	// antenna k must not have appended rows for antennas < k).
 	if len(snapshot) != st.numAnts {
@@ -292,6 +328,10 @@ func (st *Streamer) PushMasked(snapshot [][][]complex128, missing []bool) ([]Est
 	if corrupt {
 		st.corruptSlots++
 	}
+	var incSnap [][][]complex128
+	if st.inc != nil {
+		incSnap = make([][][]complex128, st.numAnts)
+	}
 	for a := 0; a < st.numAnts; a++ {
 		var rows [][]complex128
 		switch {
@@ -303,12 +343,18 @@ func (st *Streamer) PushMasked(snapshot [][][]complex128, missing []bool) ([]Est
 		default:
 			rows = st.lastGood[a] // may hold nil entries before first sample
 		}
+		if incSnap != nil {
+			incSnap[a] = make([][]complex128, st.numTx)
+		}
 		for tx := 0; tx < st.numTx; tx++ {
 			row := rows[tx]
 			if row == nil {
 				row = make([]complex128, st.numSub) // zero row: TRRS-neutral
 			}
 			st.buf[a][tx] = append(st.buf[a][tx], row)
+			if incSnap != nil {
+				incSnap[a][tx] = row
+			}
 			if !absent[a] {
 				st.lastGood[a][tx] = row
 			}
@@ -316,6 +362,13 @@ func (st *Streamer) PushMasked(snapshot [][][]complex128, missing []bool) ([]Est
 		st.missing[a] = append(st.missing[a], absent[a])
 		if absent[a] {
 			st.missTotal++
+		}
+	}
+	if st.inc != nil {
+		// Mirror the exact committed rows (including substitutions) into
+		// the incremental engine, so its window always equals buf.
+		if err := st.inc.Append(incSnap); err != nil {
+			return nil, err
 		}
 	}
 	st.updateDeadDetection(absent, snapshot)
@@ -404,6 +457,8 @@ func (st *Streamer) updateDeadDetection(absent []bool, snapshot [][][]complex128
 // during a flush are recorded in Health (see Health.LastError) and yield
 // degraded placeholder estimates, so the returned series stays contiguous.
 func (st *Streamer) Flush() []Estimate {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if st.bufLen() == 0 {
 		return nil
 	}
@@ -500,13 +555,20 @@ func (st *Streamer) analyze(flush bool) ([]Estimate, error) {
 			st.missing[a] = st.missing[a][excess:]
 		}
 		st.dropped += excess
+		if st.inc != nil {
+			st.inc.DropFront(excess)
+		}
 	}
 	return out, err
 }
 
 // analyzeAlive runs the batch pipeline over the buffered window restricted
 // to the given live antennas, re-deriving the pair geometry from the
-// surviving elements when some are dead.
+// surviving elements when some are dead. With the incremental engine it
+// builds the pipeline from the maintained normalization and base matrices
+// (only the rows invalidated since the last hop are recomputed); with
+// Recompute it rebuilds everything from the raw buffer, the seed's
+// reference behavior.
 func (st *Streamer) analyzeAlive(alive []int) (*Result, error) {
 	cfg := st.cfg.Core
 	if len(alive) < st.numAnts {
@@ -516,19 +578,54 @@ func (st *Streamer) analyzeAlive(alive []int) (*Result, error) {
 		}
 		cfg.Array = sub
 	}
-	s := &csi.Series{
-		Rate:    st.rate,
-		NumAnts: len(alive),
-		NumTx:   st.numTx,
-		NumSub:  st.numSub,
-		H:       make([][][][]complex128, len(alive)),
-		Missing: make([][]bool, len(alive)),
+	if st.inc == nil {
+		s := &csi.Series{
+			Rate:    st.rate,
+			NumAnts: len(alive),
+			NumTx:   st.numTx,
+			NumSub:  st.numSub,
+			H:       make([][][][]complex128, len(alive)),
+			Missing: make([][]bool, len(alive)),
+		}
+		for i, a := range alive {
+			s.H[i] = st.buf[a]
+			s.Missing[i] = st.missing[a]
+		}
+		return ProcessSeries(s, cfg)
 	}
+
+	cfg.applyDefaults(st.rate)
+	eng, err := st.inc.EngineView(alive)
+	if err != nil {
+		return nil, err
+	}
+	// Base matrices come from the incrementally maintained per-pair state,
+	// keyed by absolute antenna index; remap the identity so downstream
+	// consumers see the same local pair indices the recompute path yields.
+	var baseErr error
+	baseFor := func(i, j int) *trrs.Matrix {
+		m, err := st.inc.ExtendMatrix(alive[i], alive[j])
+		if err != nil {
+			baseErr = err
+			return nil
+		}
+		if m.I == i && m.J == j {
+			return m
+		}
+		return &trrs.Matrix{I: i, J: j, W: m.W, Rate: m.Rate, Vals: m.Vals}
+	}
+	missing := make([][]bool, len(alive))
 	for i, a := range alive {
-		s.H[i] = st.buf[a]
-		s.Missing[i] = st.missing[a]
+		missing[i] = st.missing[a]
 	}
-	return ProcessSeries(s, cfg)
+	p, err := newPipelineFromEngine(eng, baseFor, missFracOf(missing, len(alive), st.bufLen()), cfg)
+	if baseErr != nil {
+		return nil, baseErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return p.Process(), nil
 }
 
 // slotMissFrac returns the fraction of antennas whose sample at the given

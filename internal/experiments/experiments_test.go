@@ -332,3 +332,18 @@ func TestExtHeadingShape(t *testing.T) {
 			r.ContinuousMeanDeg, r.DiscreteMeanDeg, r.Report)
 	}
 }
+
+func TestPerfShape(t *testing.T) {
+	r := Perf(Fast)
+	if len(r.Report.Rows) != 4 {
+		t.Fatalf("want 4 rows, got %d\n%s", len(r.Report.Rows), r.Report)
+	}
+	// Timings are machine-dependent; only assert they are measurements.
+	if r.SerialNs <= 0 || r.ParallelNs <= 0 ||
+		r.RecomputeSlotsPerSec <= 0 || r.IncrementalSlotsPerSec <= 0 {
+		t.Fatalf("non-positive measurement: %+v", r)
+	}
+	if r.BatchSpeedup <= 0 || r.StreamSpeedup <= 0 {
+		t.Fatalf("non-positive speedup: %+v", r)
+	}
+}

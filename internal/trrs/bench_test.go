@@ -1,0 +1,102 @@
+package trrs
+
+import (
+	"math/rand"
+	"testing"
+
+	"rim/internal/csi"
+)
+
+// benchFixture is the Fast-scale fixture shared with the repo-root
+// TestBenchGuard: 4 s at 100 Hz, W = 0.5 s, two tx chains, 30 tones.
+func benchFixture(tb testing.TB) (*csi.Series, int) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(42))
+	return randomSeries(rng, 3, 2, 30, 400), 50
+}
+
+// BenchmarkTRRSMatrixSerial is the seed's single-threaded base-matrix
+// computation — the reference the parallel numbers are reported against.
+func BenchmarkTRRSMatrixSerial(b *testing.B) {
+	s, w := benchFixture(b)
+	e := NewEngine(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkMatrix = e.BaseMatrixSerial(0, 2, w)
+	}
+}
+
+// BenchmarkTRRSMatrixParallel is the same computation through the worker
+// pool at GOMAXPROCS.
+func BenchmarkTRRSMatrixParallel(b *testing.B) {
+	s, w := benchFixture(b)
+	e := NewEngine(s)
+	e.SetParallelism(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkMatrix = e.BaseMatrix(0, 2, w)
+	}
+}
+
+// BenchmarkTRRSMatricesBulk computes all three pairs of a linear array in
+// one pool (the pipeline's construction pattern).
+func BenchmarkTRRSMatricesBulk(b *testing.B) {
+	s, w := benchFixture(b)
+	e := NewEngine(s)
+	e.SetParallelism(0)
+	pairs := []PairSpec{{I: 0, J: 1}, {I: 0, J: 2}, {I: 1, J: 2}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkMatrices = e.BaseMatrices(pairs, w)
+	}
+}
+
+// BenchmarkTRRSIncrementalHop measures one steady-state streaming hop:
+// append hop slots, drop hop slots, refresh the pair matrix. Compare with
+// BenchmarkTRRSRecomputeHop, the per-hop cost the seed paid.
+func BenchmarkTRRSIncrementalHop(b *testing.B) {
+	s, w := benchFixture(b)
+	const hop = 50
+	inc, err := NewIncremental(s.Rate, s.NumAnts, s.NumTx, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for ti := 0; ti < s.NumSlots(); ti++ {
+		if err := inc.Append(seriesSnapshot(s, ti)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := inc.ExtendMatrix(0, 2); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < hop; k++ {
+			if err := inc.Append(seriesSnapshot(s, (i*hop+k)%s.NumSlots())); err != nil {
+				b.Fatal(err)
+			}
+		}
+		inc.DropFront(hop)
+		m, err := inc.ExtendMatrix(0, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkMatrix = m
+	}
+}
+
+// BenchmarkTRRSRecomputeHop is the seed's per-hop cost: renormalize the
+// window and rebuild the full base matrix from scratch.
+func BenchmarkTRRSRecomputeHop(b *testing.B) {
+	s, w := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(s)
+		sinkMatrix = e.BaseMatrixSerial(0, 2, w)
+	}
+}
+
+var (
+	sinkMatrix   *Matrix
+	sinkMatrices []*Matrix
+)

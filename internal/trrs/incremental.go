@@ -1,0 +1,226 @@
+package trrs
+
+import (
+	"fmt"
+
+	"rim/internal/sigproc"
+)
+
+// Incremental is the streaming counterpart of Engine: a ring buffer of
+// unit-normalized CSI snapshots over a sliding window, plus per-pair base
+// matrices that are extended in place as slots arrive instead of being
+// recomputed from scratch every analysis hop.
+//
+// The window is a contiguous absolute slot range [start, end): Append
+// grows the tail by one slot, DropFront advances the head. ExtendMatrix
+// returns a pair's base matrix over the current window, recomputing only
+// the rows whose value can have changed since the last call:
+//
+//   - the new rows themselves, plus the trailing W rows, whose forward
+//     references (t − l with l < 0) now land on freshly appended slots
+//     that were out of range — and therefore zero — before;
+//   - after a DropFront, the leading W rows, whose backward references
+//     now fall off the head of the window.
+//
+// All other rows are carried over untouched, so a steady-state hop of h
+// slots costs O((2W+h)·(2W+1)) TRRS values per pair instead of the full
+// window's O(T·(2W+1)). Because every row is produced by the same
+// fillRow arithmetic the batch engine uses, the result is bit-for-bit
+// identical to Engine.BaseMatrixSerial over a series holding exactly the
+// window's snapshots.
+//
+// Carried-over rows alias the previous generation's storage; a dropped
+// generation is garbage-collected once the sliding window has fully
+// turned over. Incremental is not goroutine-safe; callers serialize
+// access (core.Streamer holds it under its own lock).
+type Incremental struct {
+	rate   float64
+	numTx  int
+	numAnt int
+	w      int
+	par    int
+	// norm[ant][tx] is the window of unit-norm snapshots; DropFront
+	// reslices, so the backing arrays stay bounded by append's growth
+	// policy (~2× the window).
+	norm       [][][][]complex128
+	start, end int
+	mats       map[PairSpec]*incMat
+}
+
+// incMat is one maintained pair matrix plus the absolute window
+// [start, end) its rows were computed for.
+type incMat struct {
+	m          *Matrix
+	start, end int
+}
+
+// NewIncremental builds an empty incremental engine for CSI with the given
+// shape. w is the one-sided lag window of the maintained matrices, in
+// slots; it must match the W the analysis will ask for.
+func NewIncremental(rate float64, numAnts, numTx, w int) (*Incremental, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("trrs: incremental rate must be positive, got %v", rate)
+	}
+	if numAnts <= 0 || numTx <= 0 {
+		return nil, fmt.Errorf("trrs: incremental shape (%d antennas, %d tx) must be positive", numAnts, numTx)
+	}
+	if w < 0 {
+		return nil, fmt.Errorf("trrs: incremental lag window W=%d must be non-negative", w)
+	}
+	inc := &Incremental{
+		rate:   rate,
+		numAnt: numAnts,
+		numTx:  numTx,
+		w:      w,
+		norm:   make([][][][]complex128, numAnts),
+		mats:   map[PairSpec]*incMat{},
+	}
+	for a := range inc.norm {
+		inc.norm[a] = make([][][]complex128, numTx)
+	}
+	return inc, nil
+}
+
+// SetParallelism sets the worker count used when refreshing matrices
+// (same semantics as Engine.SetParallelism).
+func (inc *Incremental) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	inc.par = n
+}
+
+// NumSlots returns the current window length.
+func (inc *Incremental) NumSlots() int { return inc.end - inc.start }
+
+// W returns the one-sided lag window of the maintained matrices.
+func (inc *Incremental) W() int { return inc.w }
+
+// Rate returns the sample rate in Hz.
+func (inc *Incremental) Rate() float64 { return inc.rate }
+
+// Append ingests one snapshot (shape [ant][tx][tone]); the rows are copied
+// and normalized exactly as Engine's constructor does, so later matrix
+// queries match a batch engine built over the same window.
+func (inc *Incremental) Append(snapshot [][][]complex128) error {
+	if len(snapshot) != inc.numAnt {
+		return fmt.Errorf("trrs: incremental snapshot has %d antennas, want %d", len(snapshot), inc.numAnt)
+	}
+	for a := range snapshot {
+		if len(snapshot[a]) != inc.numTx {
+			return fmt.Errorf("trrs: incremental snapshot antenna %d has %d tx, want %d",
+				a, len(snapshot[a]), inc.numTx)
+		}
+	}
+	for a := range snapshot {
+		for tx := 0; tx < inc.numTx; tx++ {
+			v := make([]complex128, len(snapshot[a][tx]))
+			copy(v, snapshot[a][tx])
+			sigproc.Normalize(v)
+			inc.norm[a][tx] = append(inc.norm[a][tx], v)
+		}
+	}
+	inc.end++
+	return nil
+}
+
+// DropFront advances the window head by n slots (ring-buffer trim). The
+// leading W rows of every maintained matrix become stale and are refreshed
+// on the next ExtendMatrix call.
+func (inc *Incremental) DropFront(n int) {
+	if n <= 0 {
+		return
+	}
+	if n > inc.NumSlots() {
+		n = inc.NumSlots()
+	}
+	for a := range inc.norm {
+		for tx := range inc.norm[a] {
+			inc.norm[a][tx] = inc.norm[a][tx][n:]
+		}
+	}
+	inc.start += n
+}
+
+// EngineView returns a batch Engine aliasing the window's normalized
+// snapshots, restricted to the given antennas (nil means all, in order).
+// The view shares storage with the incremental engine and is invalidated
+// by the next Append/DropFront; it exists so window-scoped consumers
+// (movement detection, self-TRRS) run on the incrementally maintained
+// normalization instead of renormalizing the window every hop.
+func (inc *Incremental) EngineView(ants []int) (*Engine, error) {
+	if ants == nil {
+		ants = make([]int, inc.numAnt)
+		for a := range ants {
+			ants[a] = a
+		}
+	}
+	e := &Engine{
+		rate:    inc.rate,
+		numAnts: len(ants),
+		numTx:   inc.numTx,
+		slots:   inc.NumSlots(),
+		norm:    make([][][][]complex128, len(ants)),
+		par:     inc.par,
+	}
+	for k, a := range ants {
+		if a < 0 || a >= inc.numAnt {
+			return nil, fmt.Errorf("trrs: EngineView antenna %d out of range [0,%d)", a, inc.numAnt)
+		}
+		e.norm[k] = inc.norm[a]
+	}
+	return e, nil
+}
+
+// ExtendMatrix returns the base TRRS matrix of antenna pair (i, j) over
+// the current window, extending the maintained matrix with only the rows
+// invalidated since the last call (see the type comment for the scheme).
+// Antenna indices are absolute. Rows of the returned matrix are immutable;
+// callers must not modify them.
+func (inc *Incremental) ExtendMatrix(i, j int) (*Matrix, error) {
+	if i < 0 || i >= inc.numAnt || j < 0 || j >= inc.numAnt {
+		return nil, fmt.Errorf("trrs: ExtendMatrix pair (%d,%d) out of range [0,%d)", i, j, inc.numAnt)
+	}
+	e, err := inc.EngineView(nil)
+	if err != nil {
+		return nil, err
+	}
+	key := PairSpec{I: i, J: j}
+	im, ok := inc.mats[key]
+	if !ok {
+		m := e.BaseMatrices([]PairSpec{key}, inc.w)[0]
+		inc.mats[key] = &incMat{m: m, start: inc.start, end: inc.end}
+		return m, nil
+	}
+	if im.start == inc.start && im.end == inc.end {
+		return im.m, nil
+	}
+
+	tSlots := inc.NumSlots()
+	width := 2*inc.w + 1
+	vals := make([][]float64, tSlots)
+	var stale []int
+	for t := 0; t < tSlots; t++ {
+		r := inc.start + t // absolute slot of this row
+		valid := r < im.end
+		// A head advance zeroes backward references of the leading W rows.
+		if valid && inc.start > im.start && r < inc.start+inc.w {
+			valid = false
+		}
+		// A tail extension unzeroes forward references of rows within W of
+		// the old end.
+		if valid && inc.end > im.end && r >= im.end-inc.w {
+			valid = false
+		}
+		if valid {
+			vals[t] = im.m.Vals[r-im.start]
+		} else {
+			vals[t] = make([]float64, width)
+			stale = append(stale, t)
+		}
+	}
+	m := &Matrix{I: i, J: j, W: inc.w, Rate: inc.rate, Vals: vals}
+	e.fillRowsSharded(m, stale)
+	im.m, im.start, im.end = m, inc.start, inc.end
+	return m, nil
+}

@@ -1,0 +1,126 @@
+package trrs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// PairSpec names one antenna pair for bulk matrix computation.
+type PairSpec struct {
+	I, J int
+}
+
+// shard is one unit of worker-pool work: a block of consecutive rows of
+// one pair's base matrix.
+type shard struct {
+	pair   int // index into the pairs/out slices
+	t0, t1 int // row range [t0, t1)
+}
+
+// BaseMatrices computes the base TRRS matrices of several antenna pairs in
+// one worker pool, sharded by pair × time block. Each matrix entry is an
+// independent pure function of the normalized snapshots and every shard
+// writes a disjoint row range of a preallocated buffer, so the output is
+// deterministic and bit-for-bit identical to BaseMatrixSerial regardless
+// of worker count or scheduling. With one worker (Parallelism = 1, or a
+// single-CPU GOMAXPROCS) it degenerates to the serial loop.
+func (e *Engine) BaseMatrices(pairs []PairSpec, w int) []*Matrix {
+	out := make([]*Matrix, len(pairs))
+	if len(pairs) == 0 {
+		return out
+	}
+	workers := e.workers()
+	if workers == 1 || e.slots == 0 {
+		for k, p := range pairs {
+			out[k] = e.BaseMatrixSerial(p.I, p.J, w)
+		}
+		return out
+	}
+
+	width := 2*w + 1
+	for k, p := range pairs {
+		m := &Matrix{I: p.I, J: p.J, W: w, Rate: e.rate}
+		m.Vals = make([][]float64, e.slots)
+		flat := make([]float64, e.slots*width)
+		for t := 0; t < e.slots; t++ {
+			m.Vals[t] = flat[t*width : (t+1)*width]
+		}
+		out[k] = m
+	}
+
+	// Block size balances scheduling overhead against load balance: small
+	// enough that every worker gets several blocks, never below 16 rows.
+	block := e.slots / (workers * 4)
+	if block < 16 {
+		block = 16
+	}
+	var shards []shard
+	for k := range pairs {
+		for t0 := 0; t0 < e.slots; t0 += block {
+			t1 := t0 + block
+			if t1 > e.slots {
+				t1 = e.slots
+			}
+			shards = append(shards, shard{pair: k, t0: t0, t1: t1})
+		}
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= len(shards) {
+					return
+				}
+				sh := shards[n]
+				p, m := pairs[sh.pair], out[sh.pair]
+				for t := sh.t0; t < sh.t1; t++ {
+					e.fillRow(m.Vals[t], p.I, p.J, w, t)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// fillRowsSharded recomputes an explicit set of rows of one pair's matrix
+// using the engine's worker pool (the incremental engine's refresh path).
+// rows holds local row indices into m.Vals; every listed row must already
+// be allocated at width 2W+1.
+func (e *Engine) fillRowsSharded(m *Matrix, rows []int) {
+	workers := e.workers()
+	if workers > len(rows) {
+		workers = len(rows)
+	}
+	if workers <= 1 {
+		for _, t := range rows {
+			e.fillRow(m.Vals[t], m.I, m.J, m.W, t)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= len(rows) {
+					return
+				}
+				t := rows[n]
+				e.fillRow(m.Vals[t], m.I, m.J, m.W, t)
+			}
+		}()
+	}
+	wg.Wait()
+}

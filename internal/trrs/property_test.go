@@ -97,7 +97,10 @@ func TestVirtualMassiveRangeProperty(t *testing.T) {
 		e := NewEngine(s)
 		base := e.BaseMatrix(0, 1, 4)
 		v := 1 + int(vRaw%10)
-		boosted := VirtualMassive(base, v)
+		boosted, err := VirtualMassive(base, v)
+		if err != nil {
+			return false
+		}
 		for _, row := range boosted.Vals {
 			for _, val := range row {
 				if val < -1e-12 || val > 1+1e-9 {
@@ -124,7 +127,10 @@ func TestAverageIdempotentProperty(t *testing.T) {
 		for i := range ms {
 			ms[i] = m
 		}
-		avg := AverageMatrices(ms...)
+		avg, err := AverageMatrices(ms...)
+		if err != nil {
+			return false
+		}
 		for t1 := range m.Vals {
 			for c := range m.Vals[t1] {
 				if absf(avg.Vals[t1][c]-m.Vals[t1][c]) > 1e-9 {

@@ -13,7 +13,9 @@
 package trrs
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 
 	"rim/internal/csi"
 	"rim/internal/sigproc"
@@ -28,6 +30,32 @@ type Engine struct {
 	slots   int
 	// norm[ant][tx][slot] is the unit-norm CSI vector.
 	norm [][][][]complex128
+	// par is the worker count for matrix computation: 0 means GOMAXPROCS,
+	// 1 means the serial reference path (see SetParallelism).
+	par int
+}
+
+// SetParallelism sets the worker count used by BaseMatrix/BaseMatrices:
+// 0 (the default) uses GOMAXPROCS workers, 1 forces the serial reference
+// path, n > 1 uses exactly n workers. Every entry of a base matrix is an
+// independent pure function of the normalized snapshots, so the sharded
+// computation is bit-for-bit identical to the serial one at any setting.
+func (e *Engine) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.par = n
+}
+
+// Parallelism returns the configured worker count (0 = GOMAXPROCS).
+func (e *Engine) Parallelism() int { return e.par }
+
+// workers resolves the effective worker count.
+func (e *Engine) workers() int {
+	if e.par > 0 {
+		return e.par
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // NewEngine precomputes normalized snapshots from a processed CSI series.
@@ -139,60 +167,125 @@ func (m *Matrix) At(t, lag int) float64 {
 	return m.Vals[t][lag+m.W]
 }
 
-// BaseMatrix computes the single-snapshot TRRS matrix between antennas i
-// and j over lags [−W, W]: base[t][l+W] = κ̄(H_i(t), H_j(t−l)).
-func (e *Engine) BaseMatrix(i, j, w int) *Matrix {
+// fillRow computes one row of the (i, j, w) base matrix into row (len
+// 2w+1): row[c] = κ̄(H_i(t), H_j(t−(c−w))), 0 outside the series. It
+// overwrites every entry, so rows may be reused.
+func (e *Engine) fillRow(row []float64, i, j, w, t int) {
+	for c := range row {
+		tj := t - (c - w)
+		if tj >= 0 && tj < e.slots {
+			row[c] = e.Base(i, j, t, tj)
+		} else {
+			row[c] = 0
+		}
+	}
+}
+
+// BaseMatrixSerial computes the single-snapshot TRRS matrix between
+// antennas i and j over lags [−W, W] — base[t][l+W] = κ̄(H_i(t), H_j(t−l))
+// — on one goroutine. This is the reference oracle the parallel and
+// incremental paths are tested against; select it pipeline-wide with
+// Parallelism = 1.
+func (e *Engine) BaseMatrixSerial(i, j, w int) *Matrix {
 	m := &Matrix{I: i, J: j, W: w, Rate: e.rate}
 	m.Vals = make([][]float64, e.slots)
 	width := 2*w + 1
 	flat := make([]float64, e.slots*width)
 	for t := 0; t < e.slots; t++ {
 		row := flat[t*width : (t+1)*width]
-		for c := 0; c < width; c++ {
-			tj := t - (c - w)
-			if tj >= 0 && tj < e.slots {
-				row[c] = e.Base(i, j, t, tj)
-			}
-		}
+		e.fillRow(row, i, j, w, t)
 		m.Vals[t] = row
 	}
 	return m
 }
 
+// BaseMatrix computes the single-snapshot TRRS matrix between antennas i
+// and j over lags [−W, W], fanning the rows out over the engine's worker
+// pool (see SetParallelism). The result is bit-for-bit identical to
+// BaseMatrixSerial.
+func (e *Engine) BaseMatrix(i, j, w int) *Matrix {
+	return e.BaseMatrices([]PairSpec{{I: i, J: j}}, w)[0]
+}
+
 // VirtualMassive applies the Eq. 4 virtual-massive-antenna boost to a base
 // matrix: each entry becomes the average of the same lag over a window of V
 // consecutive snapshots (box filter along time, shrinking at the edges).
-// V <= 1 returns a copy.
-func VirtualMassive(base *Matrix, v int) *Matrix {
+// V <= 1 returns a copy. A nil or ragged matrix (rows not 2W+1 wide) is a
+// caller bug that would otherwise misindex the box filter; it is reported
+// as an error.
+func VirtualMassive(base *Matrix, v int) (*Matrix, error) {
+	if base == nil {
+		return nil, fmt.Errorf("trrs: VirtualMassive of nil matrix")
+	}
+	width := 2*base.W + 1
+	if base.W < 0 {
+		return nil, fmt.Errorf("trrs: VirtualMassive matrix has negative window W=%d", base.W)
+	}
+	for t, row := range base.Vals {
+		if len(row) != width {
+			return nil, fmt.Errorf("trrs: VirtualMassive matrix row %d has %d columns, want 2W+1 = %d",
+				t, len(row), width)
+		}
+	}
 	out := &Matrix{I: base.I, J: base.J, W: base.W, Rate: base.Rate}
 	out.Vals = make([][]float64, len(base.Vals))
-	width := 2*base.W + 1
 	flat := make([]float64, len(base.Vals)*width)
 	for t := range out.Vals {
 		out.Vals[t] = flat[t*width : (t+1)*width]
 	}
 	sigproc.BoxFilterColumns(out.Vals, base.Vals, v/2)
-	return out
+	return out, nil
 }
 
 // PairMatrix is the convenience composition used everywhere: base matrix
 // plus virtual-massive averaging with V virtual antennas.
 func (e *Engine) PairMatrix(i, j, w, v int) *Matrix {
-	return VirtualMassive(e.BaseMatrix(i, j, w), v)
+	m, err := VirtualMassive(e.BaseMatrix(i, j, w), v)
+	if err != nil {
+		// BaseMatrix always produces a well-formed matrix.
+		panic(err)
+	}
+	return m
 }
 
 // AverageMatrices returns the element-wise mean of several equal-shape
 // matrices — the §4.2 augmentation that merges parallel isometric antenna
 // pairs, whose alignment delays are identical. The result borrows the
-// identity of the first matrix.
-func AverageMatrices(ms ...*Matrix) *Matrix {
+// identity of the first matrix. Matrices that disagree on W, Rate or slot
+// count would silently misindex (or average physically incomparable lags),
+// so any mismatch is reported as an error; an empty input is an error too.
+func AverageMatrices(ms ...*Matrix) (*Matrix, error) {
 	if len(ms) == 0 {
-		return nil
+		return nil, fmt.Errorf("trrs: AverageMatrices of no matrices")
 	}
 	first := ms[0]
-	out := &Matrix{I: first.I, J: first.J, W: first.W, Rate: first.Rate}
+	if first == nil {
+		return nil, fmt.Errorf("trrs: AverageMatrices input 0 is nil")
+	}
 	slots := len(first.Vals)
 	width := 2*first.W + 1
+	for k, m := range ms {
+		switch {
+		case m == nil:
+			return nil, fmt.Errorf("trrs: AverageMatrices input %d is nil", k)
+		case m.W != first.W:
+			return nil, fmt.Errorf("trrs: AverageMatrices window mismatch: input %d has W=%d, input 0 has W=%d",
+				k, m.W, first.W)
+		case m.Rate != first.Rate:
+			return nil, fmt.Errorf("trrs: AverageMatrices rate mismatch: input %d has %v Hz, input 0 has %v Hz",
+				k, m.Rate, first.Rate)
+		case len(m.Vals) != slots:
+			return nil, fmt.Errorf("trrs: AverageMatrices slot-count mismatch: input %d has %d slots, input 0 has %d",
+				k, len(m.Vals), slots)
+		}
+		for t, row := range m.Vals {
+			if len(row) != width {
+				return nil, fmt.Errorf("trrs: AverageMatrices input %d row %d has %d columns, want 2W+1 = %d",
+					k, t, len(row), width)
+			}
+		}
+	}
+	out := &Matrix{I: first.I, J: first.J, W: first.W, Rate: first.Rate}
 	flat := make([]float64, slots*width)
 	inv := 1 / float64(len(ms))
 	for t := 0; t < slots; t++ {
@@ -208,7 +301,7 @@ func AverageMatrices(ms ...*Matrix) *Matrix {
 		}
 		out.Vals = append(out.Vals, row)
 	}
-	return out
+	return out, nil
 }
 
 // SelfSeries returns the movement-detection series of §4.1 for antenna i:

@@ -119,7 +119,10 @@ func TestVirtualMassiveSharpensAlignment(t *testing.T) {
 	e := NewEngine(buildSeries(t, tr, arr, rcfg))
 	w := 30
 	base := e.BaseMatrix(0, 2, w)
-	boosted := VirtualMassive(base, 20)
+	boosted, err := VirtualMassive(base, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	wantLag := int(math.Round(0.058 / speed * rate))
 
 	score := func(m *Matrix) float64 {
@@ -144,7 +147,10 @@ func TestVirtualMassiveSharpensAlignment(t *testing.T) {
 
 func TestVirtualMassiveVLE1IsCopy(t *testing.T) {
 	m := &Matrix{W: 1, Rate: 10, Vals: [][]float64{{1, 2, 3}, {4, 5, 6}}}
-	out := VirtualMassive(m, 1)
+	out, err := VirtualMassive(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for t1 := range m.Vals {
 		for c := range m.Vals[t1] {
 			if out.Vals[t1][c] != m.Vals[t1][c] {
@@ -161,15 +167,53 @@ func TestVirtualMassiveVLE1IsCopy(t *testing.T) {
 func TestAverageMatrices(t *testing.T) {
 	a := &Matrix{W: 1, Rate: 10, Vals: [][]float64{{1, 2, 3}}}
 	b := &Matrix{W: 1, Rate: 10, Vals: [][]float64{{3, 4, 5}}}
-	avg := AverageMatrices(a, b)
+	avg, err := AverageMatrices(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []float64{2, 3, 4}
 	for c, v := range want {
 		if avg.Vals[0][c] != v {
 			t.Errorf("avg[0][%d] = %v", c, avg.Vals[0][c])
 		}
 	}
-	if AverageMatrices() != nil {
-		t.Error("empty average must be nil")
+	if _, err := AverageMatrices(); err == nil {
+		t.Error("empty average must error")
+	}
+}
+
+// TestAverageMatricesValidation covers the mismatch cases that previously
+// misindexed silently: differing W, Rate, slot counts and ragged rows.
+func TestAverageMatricesValidation(t *testing.T) {
+	ok := &Matrix{W: 1, Rate: 10, Vals: [][]float64{{1, 2, 3}}}
+	cases := map[string]*Matrix{
+		"window mismatch":     {W: 2, Rate: 10, Vals: [][]float64{{1, 2, 3, 4, 5}}},
+		"rate mismatch":       {W: 1, Rate: 20, Vals: [][]float64{{1, 2, 3}}},
+		"slot-count mismatch": {W: 1, Rate: 10, Vals: [][]float64{{1, 2, 3}, {4, 5, 6}}},
+		"ragged row":          {W: 1, Rate: 10, Vals: [][]float64{{1, 2}}},
+		"nil input":           nil,
+	}
+	for name, bad := range cases {
+		if _, err := AverageMatrices(ok, bad); err == nil {
+			t.Errorf("%s: want error, got none", name)
+		}
+	}
+	if _, err := AverageMatrices(ok, ok); err != nil {
+		t.Errorf("matching inputs must not error: %v", err)
+	}
+}
+
+// TestVirtualMassiveValidation covers the malformed-matrix cases.
+func TestVirtualMassiveValidation(t *testing.T) {
+	if _, err := VirtualMassive(nil, 4); err == nil {
+		t.Error("nil matrix must error")
+	}
+	ragged := &Matrix{W: 1, Rate: 10, Vals: [][]float64{{1, 2, 3}, {4, 5}}}
+	if _, err := VirtualMassive(ragged, 4); err == nil {
+		t.Error("ragged matrix must error")
+	}
+	if _, err := VirtualMassive(&Matrix{W: -1, Rate: 10}, 4); err == nil {
+		t.Error("negative window must error")
 	}
 }
 
