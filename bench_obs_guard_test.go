@@ -1,0 +1,195 @@
+package rim
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"rim/internal/array"
+	"rim/internal/core"
+	"rim/internal/csi"
+	"rim/internal/obs"
+)
+
+var updateBenchObs = flag.Bool("update-bench-obs", false, "rewrite BENCH_obs.json with this machine's measurements")
+
+// obsBaseline is the committed observability-overhead baseline. The fixture
+// pins the streaming workload; the recorded numbers document the machine
+// the baseline was taken on. Like BENCH_trrs.json, regressions are judged
+// by ratios measured live on the current machine, never by someone else's
+// absolute nanoseconds.
+type obsBaseline struct {
+	Fixture struct {
+		Ants  int   `json:"ants"`
+		Tx    int   `json:"tx"`
+		Sub   int   `json:"sub"`
+		Slots int   `json:"slots"`
+		Seed  int64 `json:"seed"`
+	} `json:"fixture"`
+	Baseline struct {
+		Cores int `json:"cores"`
+		// NilNsPerOp is the measured cost of one disabled instrumentation
+		// bundle (nil counter increment + nil span start/end).
+		NilNsPerOp float64 `json:"nil_ns_per_op"`
+		// NilNsPerSlot / LiveNsPerSlot are the streaming replay costs with
+		// the registry detached vs attached.
+		NilNsPerSlot  float64 `json:"nil_ns_per_slot"`
+		LiveNsPerSlot float64 `json:"live_ns_per_slot"`
+		// NilOverheadFrac bounds the disabled-instrumentation share of a
+		// slot (opsPerSlotBudget nil bundles against the measured slot
+		// cost); LiveOverheadFrac is the measured live-registry slowdown.
+		NilOverheadFrac  float64 `json:"nil_overhead_frac"`
+		LiveOverheadFrac float64 `json:"live_overhead_frac"`
+	} `json:"baseline"`
+	Note string `json:"note"`
+}
+
+const obsBaselineFile = "BENCH_obs.json"
+
+// opsPerSlotBudget is a deliberately generous ceiling on disabled
+// instrumentation call sites charged to one streamed slot (ingest counters
+// and spans plus the amortized per-hop stage spans and counters; the real
+// count is under a dozen).
+const opsPerSlotBudget = 64
+
+// obsGuardSeries rebuilds the baseline's deterministic random fixture.
+func obsGuardSeries(bl *obsBaseline) *csi.Series {
+	rng := rand.New(rand.NewSource(bl.Fixture.Seed))
+	f := bl.Fixture
+	s := &csi.Series{
+		Rate: 100, NumAnts: f.Ants, NumTx: f.Tx, NumSub: f.Sub,
+		H: make([][][][]complex128, f.Ants),
+	}
+	for a := 0; a < f.Ants; a++ {
+		s.H[a] = make([][][]complex128, f.Tx)
+		for tx := 0; tx < f.Tx; tx++ {
+			s.H[a][tx] = make([][]complex128, f.Slots)
+			for t := 0; t < f.Slots; t++ {
+				v := make([]complex128, f.Sub)
+				for k := range v {
+					v[k] = complex(rng.NormFloat64(), rng.NormFloat64())
+				}
+				s.H[a][tx][t] = v
+			}
+		}
+	}
+	return s
+}
+
+// nilOpCost measures one disabled instrumentation bundle: a nil-counter
+// increment plus a nil-span start/end (no clock reads, no atomics).
+func nilOpCost() time.Duration {
+	var c *obs.Counter
+	var h *obs.Histogram
+	const n = 1 << 21
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		c.Inc()
+		sp := obs.StartSpan(h)
+		sp.End()
+	}
+	return time.Since(t0) / n
+}
+
+// replaySlotCost replays the fixture through a streamer and returns the
+// best-of-reps wall time per slot.
+func replaySlotCost(s *csi.Series, reg *obs.Registry, reps int) time.Duration {
+	cfg := core.StreamConfig{Core: core.DefaultConfig(array.NewLinear3(0.029))}
+	cfg.Core.WindowSeconds = 0.3
+	cfg.Core.V = 16
+	cfg.Core.Obs = reg
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		st, err := core.NewStreamer(cfg, s.Rate, s.NumAnts, s.NumTx, s.NumSub)
+		if err != nil {
+			panic(err)
+		}
+		snap := make([][][]complex128, s.NumAnts)
+		for a := range snap {
+			snap[a] = make([][]complex128, s.NumTx)
+		}
+		t0 := time.Now()
+		for ti := 0; ti < s.NumSlots(); ti++ {
+			for a := 0; a < s.NumAnts; a++ {
+				for tx := 0; tx < s.NumTx; tx++ {
+					snap[a][tx] = s.H[a][tx][ti]
+				}
+			}
+			if _, err := st.Push(snap); err != nil && !errors.Is(err, core.ErrAnalysis) {
+				panic(err)
+			}
+		}
+		st.Flush()
+		if d := time.Since(t0) / time.Duration(s.NumSlots()); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// TestObsOverheadGuard is the observability overhead regression guard: on
+// the committed streaming fixture, disabled instrumentation (nil registry)
+// must stay invisible on the hot path. The uninstrumented code no longer
+// exists to diff against, so the bound is constructed: the measured cost
+// of a disabled instrumentation bundle times a generous per-slot call-site
+// budget must stay under 2% of the measured per-slot streaming cost. The
+// live-registry replay is additionally checked against a loose ceiling so
+// switching metrics on can never silently become catastrophic. Run with
+// -update-bench-obs to re-record BENCH_obs.json.
+func TestObsOverheadGuard(t *testing.T) {
+	raw, err := os.ReadFile(obsBaselineFile)
+	if err != nil {
+		t.Fatalf("missing committed baseline: %v", err)
+	}
+	var bl obsBaseline
+	if err := json.Unmarshal(raw, &bl); err != nil {
+		t.Fatalf("corrupt %s: %v", obsBaselineFile, err)
+	}
+	if bl.Fixture.Slots <= 0 || bl.Fixture.Ants <= 0 {
+		t.Fatalf("degenerate baseline: %+v", bl)
+	}
+
+	s := obsGuardSeries(&bl)
+	const reps = 3
+	perOp := nilOpCost()
+	nilSlot := replaySlotCost(s, nil, reps)
+	liveSlot := replaySlotCost(s, obs.NewRegistry(), reps)
+
+	nilFrac := float64(perOp) * opsPerSlotBudget / float64(nilSlot)
+	liveFrac := float64(liveSlot)/float64(nilSlot) - 1
+	t.Logf("cores=%d nil op=%v slot(nil)=%v slot(live)=%v nil-budget overhead=%.3f%% live overhead=%.1f%%",
+		runtime.GOMAXPROCS(0), perOp, nilSlot, liveSlot, nilFrac*100, liveFrac*100)
+
+	if nilFrac >= 0.02 {
+		t.Errorf("disabled instrumentation budget %.2f%% of a slot (>= 2%%): %v per op, %v per slot",
+			nilFrac*100, perOp, nilSlot)
+	}
+	// Loose ceiling: the live registry is allowed real cost (atomics, clock
+	// reads) but must never dominate the pipeline arithmetic.
+	if liveFrac > 0.25 {
+		t.Errorf("live registry slows streaming by %.0f%% (> 25%%): nil %v/slot, live %v/slot",
+			liveFrac*100, nilSlot, liveSlot)
+	}
+
+	if *updateBenchObs {
+		bl.Baseline.Cores = runtime.GOMAXPROCS(0)
+		bl.Baseline.NilNsPerOp = float64(perOp.Nanoseconds())
+		bl.Baseline.NilNsPerSlot = float64(nilSlot.Nanoseconds())
+		bl.Baseline.LiveNsPerSlot = float64(liveSlot.Nanoseconds())
+		bl.Baseline.NilOverheadFrac = nilFrac
+		bl.Baseline.LiveOverheadFrac = liveFrac
+		out, err := json.MarshalIndent(&bl, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(obsBaselineFile, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", obsBaselineFile)
+	}
+}

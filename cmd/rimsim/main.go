@@ -9,14 +9,18 @@
 //
 //	rimsim [-motion line|square|backforth|rotate] [-array linear3|hexagonal|lshape]
 //	       [-rate 100] [-speed 0.5] [-length 2] [-ap 0] [-seed 1] [-o trace.json]
+//	       [-debug-addr :6060] [-debug-linger 30s]
 //	rimsim -load trace.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"math"
 	"os"
+	"sync"
+	"time"
 
 	"rim/internal/array"
 	"rim/internal/core"
@@ -24,9 +28,32 @@ import (
 	"rim/internal/experiments"
 	"rim/internal/floorplan"
 	"rim/internal/geom"
+	"rim/internal/obs"
 	"rim/internal/rf"
 	"rim/internal/traj"
 )
+
+// debugState is the opt-in observability of the binary: nil registry (and
+// zero-value health) until -debug-addr is given.
+type debugState struct {
+	reg *obs.Registry
+
+	mu sync.Mutex
+	h  core.Health
+}
+
+func (d *debugState) snapshot() any {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.h
+}
+
+func (d *debugState) ingest(series *csi.Series) {
+	h := core.HealthOfSeries(series)
+	d.mu.Lock()
+	d.h = h
+	d.mu.Unlock()
+}
 
 func main() {
 	motion := flag.String("motion", "line", "motion kind: line, square, backforth, rotate")
@@ -38,10 +65,30 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	out := flag.String("o", "", "output file (default stdout)")
 	load := flag.String("load", "", "analyze a recorded trace instead of generating one")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :6060)")
+	debugLinger := flag.Duration("debug-linger", 0, "keep the debug server up this long after the run, for scraping")
 	flag.Parse()
 
+	dbg := &debugState{}
+	if *debugAddr != "" {
+		dbg.reg = obs.NewRegistry()
+		obs.SetLogger(obs.NewTextLogger(os.Stderr, slog.LevelInfo))
+		srv, addr, err := obs.StartDebugServer(*debugAddr, dbg.reg, dbg.snapshot)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "rimsim: debug server on http://%s (/metrics, /healthz, /debug/pprof)\n", addr)
+		if *debugLinger > 0 {
+			defer func() {
+				fmt.Fprintf(os.Stderr, "rimsim: run finished, debug server lingering %s\n", *debugLinger)
+				time.Sleep(*debugLinger)
+			}()
+		}
+	}
+
 	if *load != "" {
-		analyze(*load)
+		analyze(*load, dbg)
 		return
 	}
 
@@ -77,10 +124,13 @@ func main() {
 		fatal(fmt.Errorf("unknown motion %q", *motion))
 	}
 
-	series, err := csi.Collect(env, arr, tr, csi.RealisticReceiver(*seed)).Process(true)
+	rcv := csi.RealisticReceiver(*seed)
+	rcv.Obs = dbg.reg
+	series, err := csi.Collect(env, arr, tr, rcv).Process(true)
 	if err != nil {
 		fatal(err)
 	}
+	dbg.ingest(series)
 
 	meta := csi.FileMeta{
 		Motion: *motion, Array: *arrName,
@@ -110,7 +160,7 @@ func main() {
 }
 
 // analyze loads a recording and runs the pipeline on it.
-func analyze(path string) {
+func analyze(path string, dbg *debugState) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -120,6 +170,7 @@ func analyze(path string) {
 	if err != nil {
 		fatal(err)
 	}
+	dbg.ingest(series)
 	arrName := ff.Meta.Array
 	if arrName == "" {
 		// Infer from the antenna count.
@@ -139,6 +190,7 @@ func analyze(path string) {
 		cfg.WindowSeconds = 0.3
 		cfg.V = 16
 	}
+	cfg.Obs = dbg.reg
 	res, err := core.ProcessSeries(series, cfg)
 	if err != nil {
 		fatal(err)

@@ -6,13 +6,17 @@
 // Usage:
 //
 //	rimtrack [-ap 0] [-seed 1] [-speed 0.5] [-fused] [-loss 0.3] [-dead-ant 2]
+//	         [-debug-addr :6060] [-debug-linger 30s]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"math"
 	"os"
+	"sync"
+	"time"
 
 	"rim/internal/apps/tracking"
 	"rim/internal/array"
@@ -25,6 +29,7 @@ import (
 	"rim/internal/fusion"
 	"rim/internal/geom"
 	"rim/internal/imu"
+	"rim/internal/obs"
 	"rim/internal/rf"
 	"rim/internal/traj"
 	"rim/internal/viz"
@@ -38,7 +43,31 @@ func main() {
 	lossFrac := flag.Float64("loss", 0, "inject Gilbert–Elliott bursty packet loss with this mean loss fraction")
 	deadAnt := flag.Int("dead-ant", -1, "antenna index with a dead RF chain from -dead-from seconds on (-1 = none)")
 	deadFrom := flag.Float64("dead-from", 2, "time at which -dead-ant fails, seconds")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :6060)")
+	debugLinger := flag.Duration("debug-linger", 0, "keep the debug server up this long after the run, for scraping")
 	flag.Parse()
+
+	// Observability is opt-in: without -debug-addr the registry stays nil
+	// and every instrumentation hook below is a no-op.
+	var reg *obs.Registry
+	var health healthState
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		obs.SetLogger(obs.NewTextLogger(os.Stderr, slog.LevelInfo))
+		srv, addr, err := obs.StartDebugServer(*debugAddr, reg, health.snapshot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rimtrack:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "rimtrack: debug server on http://%s (/metrics, /healthz, /debug/pprof)\n", addr)
+		if *debugLinger > 0 {
+			defer func() {
+				fmt.Fprintf(os.Stderr, "rimtrack: run finished, debug server lingering %s\n", *debugLinger)
+				time.Sleep(*debugLinger)
+			}()
+		}
+	}
 
 	office := floorplan.NewOffice()
 	ap, err := office.AP(*apID)
@@ -69,8 +98,9 @@ func main() {
 	tr.AddLateralSway(0.004, 0.9)
 
 	rcv := csi.RealisticReceiver(*seed)
+	rcv.Obs = reg
 	if *lossFrac > 0 || *deadAnt >= 0 {
-		fm := &faults.Model{Seed: *seed}
+		fm := &faults.Model{Seed: *seed, Obs: reg}
 		if *lossFrac > 0 {
 			fm.Loss = faults.NewGilbertElliott(*lossFrac, 20)
 		}
@@ -86,9 +116,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rimtrack:", err)
 		os.Exit(1)
 	}
+	health.ingest(series)
 	cfg := core.DefaultConfig(arr)
 	cfg.WindowSeconds = 0.3
 	cfg.V = 16
+	cfg.Obs = reg
 	camCfg := camera.DefaultConfig(*seed)
 
 	var res *tracking.Result
@@ -101,13 +133,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rimtrack:", err)
 			os.Exit(1)
 		}
+		health.ingest(series)
 		cfg = core.DefaultConfig(arr3)
 		cfg.WindowSeconds = 0.3
 		cfg.V = 16
+		cfg.Obs = reg
 		readings := imu.Simulate(tr, imu.DefaultConfig(*seed))
+		pfCfg := fusion.DefaultConfig(*seed)
+		pfCfg.Obs = reg
 		res, err = tracking.Fused(series, cfg, readings, tracking.FusedConfig{
 			UsePF: true,
-			PF:    fusion.DefaultConfig(*seed),
+			PF:    pfCfg,
 			Plan:  &office.Plan,
 		}, geom.Pose{Pos: start}, tr, camCfg)
 	} else {
@@ -146,6 +182,28 @@ func main() {
 			}
 		}
 	}
+}
+
+// healthState assembles the core.Health served on /healthz. The batch demo
+// has no Streamer, so the health surface is derived from the collected
+// series: slot count and the fraction of (antenna, slot) samples the
+// receiver lost or rejected.
+type healthState struct {
+	mu sync.Mutex
+	h  core.Health
+}
+
+func (s *healthState) snapshot() any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h
+}
+
+func (s *healthState) ingest(series *csi.Series) {
+	h := core.HealthOfSeries(series)
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
 }
 
 func deg(r float64) float64 { return r * 180 / math.Pi }

@@ -8,12 +8,14 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 
 	"rim/internal/align"
 	"rim/internal/array"
 	"rim/internal/csi"
 	"rim/internal/geom"
+	"rim/internal/obs"
 	"rim/internal/sigproc"
 	"rim/internal/trrs"
 )
@@ -66,6 +68,25 @@ type Config struct {
 	// and n > 1 uses exactly n workers. All settings produce bit-for-bit
 	// identical matrices.
 	Parallelism int
+	// Obs is the observability registry stage timers and counters report
+	// into (see internal/obs and DESIGN.md "Observability"). nil — the
+	// default — disables metrics; disabled instrumentation costs one nil
+	// check per operation, guarded below 2% of a streaming hop by
+	// TestObsOverheadGuard.
+	Obs *obs.Registry
+	// Logger receives structured pipeline events (log/slog): analysis
+	// failures, dead-antenna transitions, sub-array fallbacks. nil uses
+	// the package-level obs.Logger(), which discards records until the
+	// embedding binary opts in via obs.SetLogger.
+	Logger *slog.Logger
+}
+
+// logger resolves the configured logger (never nil).
+func (cfg *Config) logger() *slog.Logger {
+	if cfg.Logger != nil {
+		return cfg.Logger
+	}
+	return obs.Logger()
 }
 
 // applyDefaults fills unset tuning fields with the paper's operating
@@ -227,6 +248,37 @@ type Pipeline struct {
 	// interpolated (from the series' Missing mask); slots above
 	// degradedMissFrac are marked Estimate.Degraded.
 	missFrac []float64
+	// po holds the resolved observability handles (all nil when
+	// cfg.Obs is nil, making every use a no-op).
+	po pipelineObs
+}
+
+// pipelineObs bundles the batch pipeline's metric handles, resolved once
+// at construction so the processing path never touches the registry map.
+type pipelineObs struct {
+	// buildH times the TRRS base-matrix build/extend during pipeline
+	// construction; movementH the §4.1 movement-detection stage; alignH
+	// the per-segment alignment tracking + reckoning.
+	buildH, movementH, alignH *obs.Histogram
+	// estimates/degraded count window slots analyzed by Process (the
+	// streamer re-analyzes overlapping windows, so for streams this is a
+	// work measure; finalized emissions are counted by rim_stream_*).
+	estimates, degraded *obs.Counter
+	segments            *obs.Counter
+}
+
+func newPipelineObs(reg *obs.Registry) pipelineObs {
+	if reg == nil {
+		return pipelineObs{}
+	}
+	return pipelineObs{
+		buildH:    reg.Timer("rim_trrs_build_seconds", "TRRS base-matrix build/extend latency per pipeline construction"),
+		movementH: reg.Timer("rim_movement_seconds", "movement-detection stage latency per Process"),
+		alignH:    reg.Timer("rim_align_seconds", "alignment tracking + reckoning latency per movement segment"),
+		estimates: reg.Counter("rim_estimates_total", "window slots analyzed by pipeline Process"),
+		degraded:  reg.Counter("rim_estimates_degraded_total", "analyzed window slots flagged degraded"),
+		segments:  reg.Counter("rim_segments_total", "movement segments resolved"),
+	}
 }
 
 // degradedMissFrac is the per-slot missing-antenna fraction above which an
@@ -246,6 +298,7 @@ func NewPipeline(s *csi.Series, cfg Config) (*Pipeline, error) {
 	cfg.applyDefaults(s.Rate)
 	eng := trrs.NewEngine(s)
 	eng.SetParallelism(cfg.Parallelism)
+	eng.SetObs(cfg.Obs)
 	return newPipelineFromEngine(eng, nil, missFracOf(s.Missing, s.NumAnts, s.NumSlots()), cfg)
 }
 
@@ -280,8 +333,10 @@ func newPipelineFromEngine(eng *trrs.Engine, baseFor func(i, j int) *trrs.Matrix
 		return nil, fmt.Errorf("core: array has %d antennas but engine has %d",
 			cfg.Array.NumAntennas(), eng.NumAntennas())
 	}
-	p := &Pipeline{cfg: cfg, eng: eng, missFrac: missFrac}
+	p := &Pipeline{cfg: cfg, eng: eng, missFrac: missFrac, po: newPipelineObs(cfg.Obs)}
 	p.w = windowSlots(cfg.WindowSeconds, eng.Rate())
+	buildSpan := obs.StartSpan(p.po.buildH)
+	defer buildSpan.End()
 
 	// Base matrices are shared between translation groups and the
 	// rotation ring; collect the distinct pairs first so the bulk source
@@ -393,6 +448,7 @@ func (p *Pipeline) Process() *Result {
 	rate := p.eng.Rate()
 	slots := p.eng.NumSlots()
 	res := &Result{Rate: rate}
+	movementSpan := obs.StartSpan(p.po.movementH)
 	res.MovementIndicator = align.MovementIndicator(p.eng, p.cfg.Movement)
 	moving := align.ThresholdWithHysteresis(res.MovementIndicator, p.cfg.Movement)
 	p.moving = moving
@@ -407,6 +463,7 @@ func (p *Pipeline) Process() *Result {
 	fastCfg := p.cfg.Movement
 	fastCfg.SlowLagSeconds = 0
 	p.fastInd = align.MovementIndicator(p.eng, fastCfg)
+	movementSpan.End()
 	res.Estimates = make([]Estimate, slots)
 	dt := 1 / rate
 	for t := range res.Estimates {
@@ -445,7 +502,9 @@ func (p *Pipeline) Process() *Result {
 	// for long, so a ≥0.4 s run there marks an interior idle.
 	segs = splitAtInteriorIdles(segs, indSm, p.cfg.Movement.Threshold, int(0.4*rate), minLen)
 	for _, seg := range segs {
+		alignSpan := obs.StartSpan(p.po.alignH)
 		sr := p.processSegment(seg[0], seg[1], res)
+		alignSpan.End()
 		res.Segments = append(res.Segments, sr)
 		switch sr.Kind {
 		case MotionTranslate:
@@ -453,6 +512,17 @@ func (p *Pipeline) Process() *Result {
 		case MotionRotate:
 			res.RotationAngle += math.Abs(sr.Angle)
 		}
+	}
+	p.po.segments.Add(uint64(len(res.Segments)))
+	p.po.estimates.Add(uint64(len(res.Estimates)))
+	if p.po.degraded != nil {
+		var deg uint64
+		for i := range res.Estimates {
+			if res.Estimates[i].Degraded {
+				deg++
+			}
+		}
+		p.po.degraded.Add(deg)
 	}
 	return res
 }

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+
+	"rim/internal/csi"
+)
+
+// healthError is the detached copy of an analysis error handed out by
+// Streamer.Health. The live error chain held in Streamer.lastErr may wrap
+// values the next analysis pass replaces; snapshotting the message and the
+// ErrAnalysis classification severs that aliasing while keeping
+// errors.Is(err, ErrAnalysis) working on the copy.
+type healthError struct {
+	msg      string
+	analysis bool
+}
+
+func (e *healthError) Error() string { return e.msg }
+
+func (e *healthError) Unwrap() error {
+	if e.analysis {
+		return ErrAnalysis
+	}
+	return nil
+}
+
+// copyHealthErr detaches err from the streamer's mutable state (nil-safe).
+func copyHealthErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &healthError{msg: err.Error(), analysis: errors.Is(err, ErrAnalysis)}
+}
+
+// HealthOfSeries derives a batch-mode health surface from a collected
+// series: slot count and the fraction of (antenna, slot) samples the
+// receiver lost or rejected. Batch binaries without a Streamer serve this
+// on /healthz so the endpoint shape is identical in both modes.
+func HealthOfSeries(s *csi.Series) Health {
+	h := Health{Slots: s.NumSlots()}
+	miss := 0
+	for a := range s.Missing {
+		for _, m := range s.Missing[a] {
+			if m {
+				miss++
+			}
+		}
+	}
+	if h.Slots > 0 && s.NumAnts > 0 {
+		h.LossRate = float64(miss) / float64(h.Slots*s.NumAnts)
+	}
+	return h
+}
+
+// healthJSON is the wire shape of Health: stable snake_case keys and the
+// error flattened to a string plus its ErrAnalysis classification, so the
+// /healthz endpoint and any remote consumer round-trip the full surface.
+type healthJSON struct {
+	Slots               int     `json:"slots"`
+	LossRate            float64 `json:"loss_rate"`
+	CorruptSlots        int     `json:"corrupt_slots"`
+	DeadAntennas        []int   `json:"dead_antennas,omitempty"`
+	Fallback            bool    `json:"fallback"`
+	ConsecutiveFailures int     `json:"consecutive_failures"`
+	TotalFailures       int     `json:"total_failures"`
+	LastError           string  `json:"last_error,omitempty"`
+	LastErrorAnalysis   bool    `json:"last_error_analysis,omitempty"`
+}
+
+// MarshalJSON encodes the health snapshot with the error as a string.
+func (h Health) MarshalJSON() ([]byte, error) {
+	j := healthJSON{
+		Slots:               h.Slots,
+		LossRate:            h.LossRate,
+		CorruptSlots:        h.CorruptSlots,
+		DeadAntennas:        h.DeadAntennas,
+		Fallback:            h.Fallback,
+		ConsecutiveFailures: h.ConsecutiveFailures,
+		TotalFailures:       h.TotalFailures,
+	}
+	if h.LastError != nil {
+		j.LastError = h.LastError.Error()
+		j.LastErrorAnalysis = errors.Is(h.LastError, ErrAnalysis)
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes a snapshot produced by MarshalJSON; a non-empty
+// last_error becomes an error value that still satisfies
+// errors.Is(err, ErrAnalysis) when it was classified as one.
+func (h *Health) UnmarshalJSON(data []byte) error {
+	var j healthJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*h = Health{
+		Slots:               j.Slots,
+		LossRate:            j.LossRate,
+		CorruptSlots:        j.CorruptSlots,
+		DeadAntennas:        j.DeadAntennas,
+		Fallback:            j.Fallback,
+		ConsecutiveFailures: j.ConsecutiveFailures,
+		TotalFailures:       j.TotalFailures,
+	}
+	if j.LastError != "" {
+		h.LastError = &healthError{msg: j.LastError, analysis: j.LastErrorAnalysis}
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rim/internal/array"
+)
+
+func TestHealthLastErrorDetached(t *testing.T) {
+	arr := array.NewLinear3(spacing)
+	st, err := NewStreamer(streamConfig(arr), 100, 3, 3, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := st.Health(); h.LastError != nil {
+		t.Fatalf("fresh stream has LastError = %v", h.LastError)
+	}
+	st.mu.Lock()
+	st.lastErr = fmt.Errorf("%w: boom", ErrAnalysis)
+	st.mu.Unlock()
+	h := st.Health()
+	if h.LastError == nil {
+		t.Fatal("LastError not surfaced")
+	}
+	if h.LastError == st.lastErr {
+		t.Fatal("Health aliases the live error instead of copying it")
+	}
+	if !errors.Is(h.LastError, ErrAnalysis) {
+		t.Error("detached copy lost the ErrAnalysis classification")
+	}
+	if h.LastError.Error() != st.lastErr.Error() {
+		t.Errorf("detached message %q != original %q", h.LastError.Error(), st.lastErr.Error())
+	}
+	// Clearing the stream's error must not disturb the snapshot.
+	st.mu.Lock()
+	st.lastErr = nil
+	st.mu.Unlock()
+	if h.LastError.Error() == "" || !errors.Is(h.LastError, ErrAnalysis) {
+		t.Error("snapshot invalidated by later stream mutation")
+	}
+}
+
+func TestHealthJSONRoundTrip(t *testing.T) {
+	cases := []Health{
+		{},
+		{
+			Slots:               120,
+			LossRate:            0.0625,
+			CorruptSlots:        3,
+			DeadAntennas:        []int{2},
+			Fallback:            true,
+			ConsecutiveFailures: 1,
+			TotalFailures:       4,
+			LastError:           fmt.Errorf("%w: only 1 live antenna(s)", ErrAnalysis),
+		},
+		{Slots: 7, LastError: errors.New("plain ingest trouble")},
+	}
+	for i, h := range cases {
+		data, err := json.Marshal(h)
+		if err != nil {
+			t.Fatalf("case %d: marshal: %v", i, err)
+		}
+		var got Health
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("case %d: unmarshal: %v", i, err)
+		}
+		if got.Slots != h.Slots || got.LossRate != h.LossRate ||
+			got.CorruptSlots != h.CorruptSlots || got.Fallback != h.Fallback ||
+			got.ConsecutiveFailures != h.ConsecutiveFailures ||
+			got.TotalFailures != h.TotalFailures {
+			t.Errorf("case %d: scalar fields mangled: got %+v want %+v", i, got, h)
+		}
+		if len(got.DeadAntennas) != len(h.DeadAntennas) {
+			t.Errorf("case %d: DeadAntennas = %v, want %v", i, got.DeadAntennas, h.DeadAntennas)
+		}
+		switch {
+		case h.LastError == nil:
+			if got.LastError != nil {
+				t.Errorf("case %d: nil error became %v", i, got.LastError)
+			}
+		default:
+			if got.LastError == nil {
+				t.Fatalf("case %d: error lost in round trip", i)
+			}
+			if got.LastError.Error() != h.LastError.Error() {
+				t.Errorf("case %d: message %q != %q", i, got.LastError.Error(), h.LastError.Error())
+			}
+			if errors.Is(got.LastError, ErrAnalysis) != errors.Is(h.LastError, ErrAnalysis) {
+				t.Errorf("case %d: ErrAnalysis classification lost", i)
+			}
+		}
+	}
+}
+
+func TestHealthJSONKeys(t *testing.T) {
+	h := Health{Slots: 5, LastError: fmt.Errorf("%w: x", ErrAnalysis)}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"slots", "loss_rate", "corrupt_slots", "fallback",
+		"consecutive_failures", "total_failures", "last_error", "last_error_analysis"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("wire key %q missing from %s", key, data)
+		}
+	}
+}
+
+// TestHealthDuringFlushRace hammers Health() from one goroutine while
+// another pushes and flushes a stream whose analysis keeps failing (only
+// one live antenna), so the reader constantly snapshots a live, changing
+// LastError. Run under -race this proves the snapshot shares no mutable
+// state with the streamer.
+func TestHealthDuringFlushRace(t *testing.T) {
+	arr := array.NewLinear3(spacing)
+	cfg := streamConfig(arr)
+	cfg.SpanSeconds = 1
+	cfg.HopSeconds = 0.1
+	st, err := NewStreamer(cfg, 100, 3, 3, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	mk := func() [][][]complex128 {
+		snap := make([][][]complex128, 3)
+		for a := range snap {
+			snap[a] = make([][]complex128, 3)
+			for tx := range snap[a] {
+				row := make([]complex128, 30)
+				for k := range row {
+					row[k] = complex(rng.NormFloat64(), rng.NormFloat64())
+				}
+				snap[a][tx] = row
+			}
+		}
+		return snap
+	}
+	// Antennas 1 and 2 never deliver a sample: the persistent-miss detector
+	// declares them dead, leaving a single live antenna — every analysis
+	// hop then fails with ErrAnalysis.
+	mask := []bool{false, true, true}
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for ti := 0; ti < 400; ti++ {
+			if _, err := st.PushMasked(mk(), mask); err != nil && !errors.Is(err, ErrAnalysis) {
+				t.Errorf("push: %v", err)
+				return
+			}
+			if ti%97 == 0 {
+				st.Flush()
+			}
+		}
+		st.Flush()
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			h := st.Health()
+			if h.LastError != nil {
+				_ = h.LastError.Error()
+				_ = errors.Is(h.LastError, ErrAnalysis)
+			}
+		}
+	}()
+	wg.Wait()
+
+	h := st.Health()
+	if h.TotalFailures == 0 || h.LastError == nil {
+		t.Fatalf("expected failing analyses (2 dead antennas): %+v", h)
+	}
+	if !errors.Is(h.LastError, ErrAnalysis) {
+		t.Errorf("final LastError not classified ErrAnalysis: %v", h.LastError)
+	}
+}

@@ -3,10 +3,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sync"
 
 	"rim/internal/csi"
+	"rim/internal/obs"
 	"rim/internal/sigproc"
 	"rim/internal/trrs"
 )
@@ -69,6 +71,9 @@ type Health struct {
 	ConsecutiveFailures int
 	TotalFailures       int
 	// LastError is the most recent analysis error (nil after a success).
+	// Health hands out a detached copy — message plus ErrAnalysis
+	// classification — never the live error chain, so the snapshot stays
+	// valid however the stream mutates afterwards.
 	LastError error
 }
 
@@ -145,6 +150,46 @@ type Streamer struct {
 	energyEMA  []float64
 	emaAlpha   float64
 	dead       []bool
+
+	// log receives structured stream events (never nil; the no-op logger
+	// when unconfigured). ob holds the resolved metric handles (all nil
+	// when Core.Obs is nil).
+	log *slog.Logger
+	ob  streamObs
+}
+
+// streamObs bundles the streamer's metric handles, resolved once in
+// NewStreamer so the per-packet path never touches the registry map. All
+// handles are nil (no-op) when StreamConfig.Core.Obs is nil.
+type streamObs struct {
+	frames   *obs.Counter   // rim_stream_frames_total
+	missing  *obs.Counter   // rim_stream_samples_missing_total
+	corrupt  *obs.Counter   // rim_stream_slots_corrupt_total
+	emitted  *obs.Counter   // rim_stream_estimates_total
+	degraded *obs.Counter   // rim_stream_estimates_degraded_total
+	failures *obs.Counter   // rim_stream_analysis_failures_total
+	fallback *obs.Counter   // rim_stream_fallback_hops_total
+	dead     *obs.Gauge     // rim_stream_dead_antennas
+	ingestH  *obs.Histogram // rim_ingest_seconds
+	hopH     *obs.Histogram // rim_stream_hop_seconds
+}
+
+func newStreamObs(reg *obs.Registry) streamObs {
+	if reg == nil {
+		return streamObs{}
+	}
+	return streamObs{
+		frames:   reg.Counter("rim_stream_frames_total", "CSI snapshots ingested by the streamer"),
+		missing:  reg.Counter("rim_stream_samples_missing_total", "(antenna, slot) samples missing or rejected at ingest"),
+		corrupt:  reg.Counter("rim_stream_slots_corrupt_total", "snapshots with at least one NaN/garbage row rejected"),
+		emitted:  reg.Counter("rim_stream_estimates_total", "finalized per-slot estimates emitted"),
+		degraded: reg.Counter("rim_stream_estimates_degraded_total", "finalized estimates emitted with the Degraded flag"),
+		failures: reg.Counter("rim_stream_analysis_failures_total", "sliding-window analysis failures"),
+		fallback: reg.Counter("rim_stream_fallback_hops_total", "analysis hops run on a reduced sub-array"),
+		dead:     reg.Gauge("rim_stream_dead_antennas", "antennas currently considered dead"),
+		ingestH:  reg.Timer("rim_ingest_seconds", "per-snapshot ingest (validate + commit) latency"),
+		hopH:     reg.Timer("rim_stream_hop_seconds", "sliding-window analysis latency per hop"),
+	}
 }
 
 // NewStreamer builds a streaming pipeline for CSI with the given shape.
@@ -200,12 +245,15 @@ func NewStreamer(cfg StreamConfig, rate float64, numAnts, numTx, numSub int) (*S
 		guard:   int(math.Ceil(w * rate)),
 		wSlots:  windowSlots(w, rate),
 	}
+	st.log = cfg.Core.logger()
+	st.ob = newStreamObs(cfg.Core.Obs)
 	if !cfg.Recompute {
 		inc, err := trrs.NewIncremental(rate, numAnts, numTx, st.wSlots)
 		if err != nil {
 			return nil, err
 		}
 		inc.SetParallelism(cfg.Core.Parallelism)
+		inc.SetObs(cfg.Core.Obs)
 		st.inc = inc
 	}
 	st.buf = make([][][][]complex128, numAnts)
@@ -250,7 +298,7 @@ func (st *Streamer) Health() Health {
 		CorruptSlots:        st.corruptSlots,
 		ConsecutiveFailures: st.failures,
 		TotalFailures:       st.totalFails,
-		LastError:           st.lastErr,
+		LastError:           copyHealthErr(st.lastErr),
 	}
 	if st.samples > 0 {
 		h.LossRate = float64(st.missTotal) / float64(st.samples*st.numAnts)
@@ -324,9 +372,12 @@ func (st *Streamer) PushMasked(snapshot [][][]complex128, missing []bool) ([]Est
 	}
 
 	// Phase 2: commit.
+	ingestSpan := obs.StartSpan(st.ob.ingestH)
 	st.samples++
+	st.ob.frames.Inc()
 	if corrupt {
 		st.corruptSlots++
+		st.ob.corrupt.Inc()
 	}
 	var incSnap [][][]complex128
 	if st.inc != nil {
@@ -362,6 +413,7 @@ func (st *Streamer) PushMasked(snapshot [][][]complex128, missing []bool) ([]Est
 		st.missing[a] = append(st.missing[a], absent[a])
 		if absent[a] {
 			st.missTotal++
+			st.ob.missing.Inc()
 		}
 	}
 	if st.inc != nil {
@@ -372,6 +424,7 @@ func (st *Streamer) PushMasked(snapshot [][][]complex128, missing []bool) ([]Est
 		}
 	}
 	st.updateDeadDetection(absent, snapshot)
+	ingestSpan.End()
 
 	st.pending++
 	if st.pending < st.hop || st.bufLen() < st.guard*2 {
@@ -438,6 +491,7 @@ func (st *Streamer) updateDeadDetection(absent []bool, snapshot [][][]complex128
 		medPower = sigproc.Median(live)
 	}
 
+	deadChanged := false
 	for a := 0; a < st.numAnts; a++ {
 		missFrac := float64(st.recentCnt[a]) / float64(st.recentN)
 		starved := medPower > 0 && st.energyEMA[a] >= 0 &&
@@ -446,10 +500,24 @@ func (st *Streamer) updateDeadDetection(absent []bool, snapshot [][][]complex128
 		if !st.dead[a] {
 			if missFrac >= st.cfg.DeadMissFrac || starved {
 				st.dead[a] = true
+				deadChanged = true
+				st.log.Warn("antenna declared dead",
+					"antenna", a, "miss_frac", missFrac, "starved", starved)
 			}
 		} else if missFrac < st.cfg.DeadMissFrac/2 && !starved && (recovered || medPower == 0) {
 			st.dead[a] = false
+			deadChanged = true
+			st.log.Info("antenna revived", "antenna", a, "miss_frac", missFrac)
 		}
+	}
+	if deadChanged && st.ob.dead != nil {
+		n := 0
+		for _, d := range st.dead {
+			if d {
+				n++
+			}
+		}
+		st.ob.dead.Set(float64(n))
 	}
 }
 
@@ -486,6 +554,8 @@ func (st *Streamer) aliveAntennas() []int {
 // degraded placeholders so the output stays contiguous, records the
 // failure in Health, and returns the error wrapped in ErrAnalysis.
 func (st *Streamer) analyze(flush bool) ([]Estimate, error) {
+	hopSpan := obs.StartSpan(st.ob.hopH)
+	defer hopSpan.End()
 	n := st.bufLen()
 	upTo := n - st.guard
 	if flush {
@@ -494,6 +564,9 @@ func (st *Streamer) analyze(flush bool) ([]Estimate, error) {
 
 	alive := st.aliveAntennas()
 	fallback := len(alive) < st.numAnts
+	if fallback {
+		st.ob.fallback.Inc()
+	}
 
 	var res *Result
 	var err error
@@ -509,6 +582,9 @@ func (st *Streamer) analyze(flush bool) ([]Estimate, error) {
 		st.failures++
 		st.totalFails++
 		st.lastErr = err
+		st.ob.failures.Inc()
+		st.log.Warn("stream analysis failed",
+			"err", err, "consecutive", st.failures, "alive", len(alive))
 	} else {
 		st.failures = 0
 		st.lastErr = nil
@@ -535,6 +611,10 @@ func (st *Streamer) analyze(flush bool) ([]Estimate, error) {
 		}
 		if st.slotMissFrac(local) >= st.cfg.DegradedMissFrac {
 			e.Degraded = true
+		}
+		st.ob.emitted.Inc()
+		if e.Degraded {
+			st.ob.degraded.Inc()
 		}
 		out = append(out, e)
 	}

@@ -15,6 +15,7 @@ import (
 	"rim/internal/array"
 	"rim/internal/faults"
 	"rim/internal/geom"
+	"rim/internal/obs"
 	"rim/internal/rf"
 	"rim/internal/sigproc"
 	"rim/internal/traj"
@@ -49,6 +50,10 @@ type ReceiverConfig struct {
 	// corrupt/NaN frames. nil injects nothing. Fault randomness is driven
 	// by Faults.Seed, independent of Seed.
 	Faults *faults.Model
+	// Obs optionally receives acquisition counters (rim_csi_packets_total /
+	// rim_csi_packets_lost_total, counting every loss mechanism: baseline
+	// i.i.d. loss plus injected bursty loss). nil disables the accounting.
+	Obs *obs.Registry
 }
 
 // RealisticReceiver returns impairments typical of the paper's hardware.
@@ -134,6 +139,10 @@ func Collect(env *rf.Environment, arr *array.Array, tr *traj.Trajectory, cfg Rec
 	rcfg := env.Config()
 	numNICs, antNIC, antLocal := nicLayout(arr)
 	inj := cfg.Faults.NewInjector(numNICs)
+	cPackets := cfg.Obs.Counter("rim_csi_packets_total",
+		"per-NIC packets the AP broadcast during acquisition")
+	cLost := cfg.Obs.Counter("rim_csi_packets_lost_total",
+		"per-NIC packets lost to baseline or injected loss")
 	out := &Trace{
 		Rate:     tr.Rate,
 		NumAnts:  arr.NumAntennas(),
@@ -203,11 +212,14 @@ func Collect(env *rf.Environment, arr *array.Array, tr *traj.Trajectory, cfg Rec
 			// The bursty chain must advance every packet to keep its state
 			// machine (and hence the whole fault sequence) deterministic,
 			// so query it before the i.i.d. draw.
+			cPackets.Inc()
 			burstyLost := inj.PacketLost(n)
 			if cfg.LossProb > 0 && rng.Float64() < cfg.LossProb {
+				cLost.Inc()
 				continue // packet lost on this NIC
 			}
 			if burstyLost {
+				cLost.Inc()
 				continue
 			}
 			// Per-packet NIC-wide phase state.

@@ -335,8 +335,9 @@ func TestExtHeadingShape(t *testing.T) {
 
 func TestPerfShape(t *testing.T) {
 	r := Perf(Fast)
-	if len(r.Report.Rows) != 4 {
-		t.Fatalf("want 4 rows, got %d\n%s", len(r.Report.Rows), r.Report)
+	// 4 throughput rows plus one row per recorded stage histogram.
+	if want := 4 + len(r.Stages); len(r.Report.Rows) != want {
+		t.Fatalf("want %d rows, got %d\n%s", want, len(r.Report.Rows), r.Report)
 	}
 	// Timings are machine-dependent; only assert they are measurements.
 	if r.SerialNs <= 0 || r.ParallelNs <= 0 ||
@@ -345,5 +346,15 @@ func TestPerfShape(t *testing.T) {
 	}
 	if r.BatchSpeedup <= 0 || r.StreamSpeedup <= 0 {
 		t.Fatalf("non-positive speedup: %+v", r)
+	}
+	// The instrumented replay must record every pipeline stage, with sane
+	// (positive, ordered) percentiles.
+	if len(r.Stages) != len(stageHistograms) {
+		t.Fatalf("stages = %d, want %d: %+v", len(r.Stages), len(stageHistograms), r.Stages)
+	}
+	for _, sl := range r.Stages {
+		if sl.Count == 0 || sl.P50 <= 0 || sl.P50 > sl.P90 || sl.P90 > sl.P99 {
+			t.Errorf("degenerate stage latency: %+v", sl)
+		}
 	}
 }

@@ -11,22 +11,41 @@ import (
 	"rim/internal/core"
 	"rim/internal/csi"
 	"rim/internal/geom"
+	"rim/internal/obs"
 	"rim/internal/traj"
 	"rim/internal/trrs"
 )
 
 // PerfResult carries the engine-throughput measurements: the batch
-// base-matrix build serial vs parallel, and the streaming replay with the
-// seed's full-window recompute vs the incremental engine.
+// base-matrix build serial vs parallel, the streaming replay with the
+// seed's full-window recompute vs the incremental engine, and the
+// per-stage latency distribution of the instrumented replay. The struct
+// marshals to the JSON perf row rimbench -json emits.
 type PerfResult struct {
-	Report *Report
+	Report *Report `json:"-"`
 	// SerialNs and ParallelNs are the batch BaseMatrix wall times.
-	SerialNs, ParallelNs float64
+	SerialNs   float64 `json:"serial_ns"`
+	ParallelNs float64 `json:"parallel_ns"`
 	// RecomputeSlotsPerSec and IncrementalSlotsPerSec are the streaming
 	// replay throughputs.
-	RecomputeSlotsPerSec, IncrementalSlotsPerSec float64
+	RecomputeSlotsPerSec   float64 `json:"recompute_slots_per_sec"`
+	IncrementalSlotsPerSec float64 `json:"incremental_slots_per_sec"`
 	// BatchSpeedup and StreamSpeedup are the corresponding ratios.
-	BatchSpeedup, StreamSpeedup float64
+	BatchSpeedup  float64 `json:"batch_speedup"`
+	StreamSpeedup float64 `json:"stream_speedup"`
+	// Stages holds the per-stage latency percentiles of an instrumented
+	// (registry-attached) incremental replay of the same trace.
+	Stages []StageLatency `json:"stages,omitempty"`
+}
+
+// StageLatency summarizes one pipeline stage's latency histogram.
+type StageLatency struct {
+	// Stage is the metric name (e.g. "rim_stream_hop_seconds").
+	Stage string  `json:"stage"`
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50_seconds"`
+	P90   float64 `json:"p90_seconds"`
+	P99   float64 `json:"p99_seconds"`
 }
 
 // perfSeries simulates the walk both measurements replay.
@@ -82,6 +101,41 @@ func replayThroughput(s *csi.Series, cfg core.StreamConfig) float64 {
 	return float64(s.NumSlots()) / time.Since(t0).Seconds()
 }
 
+// stageHistograms names the latency histograms the pipeline records, in
+// pipeline order (ingest → TRRS build → movement → alignment → whole hop).
+var stageHistograms = []string{
+	"rim_ingest_seconds",
+	"rim_trrs_build_seconds",
+	"rim_movement_seconds",
+	"rim_align_seconds",
+	"rim_stream_hop_seconds",
+}
+
+// stageLatencies replays the trace once more with a live registry attached
+// and extracts each stage's latency percentiles. The replay is separate
+// from the timed throughput runs so instrumentation cost never pollutes
+// the recompute-vs-incremental comparison.
+func stageLatencies(s *csi.Series, cfg core.StreamConfig) []StageLatency {
+	reg := obs.NewRegistry()
+	cfg.Core.Obs = reg
+	replayThroughput(s, cfg)
+	var out []StageLatency
+	for _, name := range stageHistograms {
+		h := reg.Histogram(name, "", nil)
+		if h.Count() == 0 {
+			continue
+		}
+		out = append(out, StageLatency{
+			Stage: name,
+			Count: h.Count(),
+			P50:   h.Quantile(0.50),
+			P90:   h.Quantile(0.90),
+			P99:   h.Quantile(0.99),
+		})
+	}
+	return out
+}
+
 // Perf measures the parallel + incremental TRRS engine against the seed's
 // serial full-recompute paths on one simulated walk: the batch base-matrix
 // build (one pair, full trace) and the end-to-end streaming replay. This is
@@ -113,6 +167,7 @@ func Perf(scale Scale) *PerfResult {
 		IncrementalSlotsPerSec: incremental,
 		BatchSpeedup:           float64(serial) / float64(parallel),
 		StreamSpeedup:          incremental / recompute,
+		Stages:                 stageLatencies(s, incCfg),
 	}
 
 	rep := &Report{
@@ -131,6 +186,16 @@ func Perf(scale Scale) *PerfResult {
 		runtime.GOMAXPROCS(0), s.NumSlots(), s.Rate, w)
 	rep.AddNote("real-time margin: incremental streams %.1fx faster than the %.0f Hz arrival rate",
 		incremental/s.Rate, s.Rate)
+	for _, sl := range out.Stages {
+		rep.AddRow(sl.Stage, "latency P50/P90/P99",
+			fmt.Sprintf("%s / %s / %s", fmtSec(sl.P50), fmtSec(sl.P90), fmtSec(sl.P99)),
+			fmt.Sprintf("n=%d", sl.Count))
+	}
 	out.Report = rep
 	return out
+}
+
+// fmtSec renders a latency in engineering units.
+func fmtSec(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
 }

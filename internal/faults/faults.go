@@ -16,6 +16,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"rim/internal/obs"
 )
 
 // GilbertElliott is the two-state bursty packet-loss channel: a Markov
@@ -166,6 +168,12 @@ type Model struct {
 	Corrupt Corruption
 	// Seed drives all fault randomness (independent of the receiver's).
 	Seed int64
+	// Obs optionally receives per-event fault counters (rim_fault_*), so a
+	// fault-injection run is self-describing: the /metrics scrape shows
+	// exactly how many packets were dropped, frames corrupted, chain-dead
+	// samples served, and AGC/interference-affected packets injected. nil
+	// disables the accounting.
+	Obs *obs.Registry
 }
 
 // Validate checks the model against an acquisition shape.
@@ -201,6 +209,11 @@ type Injector struct {
 	rng     *rand.Rand
 	bad     []bool // per-NIC Gilbert-Elliott state
 	numNICs int
+
+	// Event counters (nil handles are no-ops when Model.Obs is nil); they
+	// count injected events, not random draws, so a clean run keeps every
+	// rim_fault_* series at zero.
+	cLost, cCorrupt, cDead, cAGC, cInterf *obs.Counter
 }
 
 // NewInjector realizes the model for an acquisition with numNICs cards.
@@ -209,12 +222,25 @@ func (m *Model) NewInjector(numNICs int) *Injector {
 	if m == nil {
 		return nil
 	}
-	return &Injector{
+	in := &Injector{
 		m:       m,
 		rng:     rand.New(rand.NewSource(m.Seed)),
 		bad:     make([]bool, numNICs),
 		numNICs: numNICs,
 	}
+	if reg := m.Obs; reg != nil {
+		in.cLost = reg.Counter("rim_fault_packets_lost_total",
+			"packets dropped by the injected bursty-loss channel")
+		in.cCorrupt = reg.Counter("rim_fault_frames_corrupt_total",
+			"frames replaced with injected garbage/NaN samples")
+		in.cDead = reg.Counter("rim_fault_chain_dead_total",
+			"(antenna, packet) samples served by an injected dead RF chain")
+		in.cAGC = reg.Counter("rim_fault_agc_packets_total",
+			"packets measured under an injected AGC gain step")
+		in.cInterf = reg.Counter("rim_fault_interference_packets_total",
+			"packets measured inside an injected interference burst")
+	}
+	return in
 }
 
 // PacketLost advances NIC nic's loss chain by one packet and reports
@@ -235,7 +261,11 @@ func (in *Injector) PacketLost(nic int) bool {
 	if in.bad[nic] {
 		p = g.LossBad
 	}
-	return p > 0 && in.rng.Float64() < p
+	if p > 0 && in.rng.Float64() < p {
+		in.cLost.Inc()
+		return true
+	}
+	return false
 }
 
 // ChainDead reports whether antenna ant's RF chain is dead at time t.
@@ -246,6 +276,7 @@ func (in *Injector) ChainDead(ant int, t float64) bool {
 	for i := range in.m.Dropouts {
 		d := &in.m.Dropouts[i]
 		if d.Antenna == ant && d.Active(t) {
+			in.cDead.Inc()
 			return true
 		}
 	}
@@ -265,6 +296,9 @@ func (in *Injector) NoiseBoost(t float64) float64 {
 			boost *= pow10(b.SNRDropDB / 20)
 		}
 	}
+	if boost != 1 {
+		in.cInterf.Inc()
+	}
 	return boost
 }
 
@@ -281,6 +315,9 @@ func (in *Injector) Gain(nic int, t float64) float64 {
 			g *= pow10(s.GainDB / 20)
 		}
 	}
+	if g != 1 {
+		in.cAGC.Inc()
+	}
 	return g
 }
 
@@ -292,6 +329,7 @@ func (in *Injector) CorruptFrame() (corrupt, nan bool) {
 		return false, false
 	}
 	if in.rng.Float64() < in.m.Corrupt.Prob {
+		in.cCorrupt.Inc()
 		return true, in.m.Corrupt.NaN
 	}
 	return false, false

@@ -11,6 +11,7 @@ import (
 
 	"rim/internal/floorplan"
 	"rim/internal/geom"
+	"rim/internal/obs"
 )
 
 // Input is one fused dead-reckoning step: a travelled distance increment
@@ -42,6 +43,10 @@ type Config struct {
 	ResampleFrac float64
 	// Seed drives the filter randomness.
 	Seed int64
+	// Obs, when non-nil, receives the filter's run metrics: steps and
+	// resampling/revival events, the distribution of input quality, and a
+	// live-particle gauge. Fully optional; a nil registry costs nothing.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the settings used for Fig. 21.
@@ -69,6 +74,11 @@ type Filter struct {
 	plan  *floorplan.Plan
 	rng   *rand.Rand
 	parts []particle
+
+	// Observability handles (nil = unobserved).
+	steps, resamples, revivals *obs.Counter
+	qualityH                   *obs.Histogram
+	aliveGauge                 *obs.Gauge
 }
 
 // NewFilter initializes the particle cloud around the known initial pose
@@ -81,6 +91,19 @@ func NewFilter(plan *floorplan.Plan, initial geom.Pose, cfg Config) *Filter {
 		cfg.ResampleFrac = 0.5
 	}
 	f := &Filter{cfg: cfg, plan: plan, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.Obs != nil {
+		f.steps = cfg.Obs.Counter("rim_fusion_steps_total",
+			"particle-filter dead-reckoning steps processed")
+		f.resamples = cfg.Obs.Counter("rim_fusion_resamples_total",
+			"systematic resampling passes triggered by weight degeneracy")
+		f.revivals = cfg.Obs.Counter("rim_fusion_revivals_total",
+			"cloud revivals after every particle hit a wall")
+		f.qualityH = cfg.Obs.Histogram("rim_fusion_quality",
+			"per-step RIM input quality weight in (0,1]",
+			[]float64{0.1, 0.25, 0.5, 0.75, 0.9, 1})
+		f.aliveGauge = cfg.Obs.Gauge("rim_fusion_particles_alive",
+			"particles with non-zero weight after the latest step")
+	}
 	w := 1 / float64(cfg.NumParticles)
 	for i := 0; i < cfg.NumParticles; i++ {
 		f.parts = append(f.parts, particle{
@@ -107,6 +130,8 @@ func (f *Filter) Step(in Input) geom.Pose {
 	if q <= 0 || q > 1 {
 		q = 1
 	}
+	f.steps.Inc()
+	f.qualityH.Observe(q)
 	spread := 1 + 2*(1-q)
 	var totalW float64
 	for i := range f.parts {
@@ -128,6 +153,7 @@ func (f *Filter) Step(in Input) geom.Pose {
 		// All particles died (e.g. dead-reckoning drove the cloud into a
 		// wall): revive by resampling around the surviving positions with
 		// broad diffusion.
+		f.revivals.Inc()
 		f.revive()
 	} else {
 		inv := 1 / totalW
@@ -136,7 +162,11 @@ func (f *Filter) Step(in Input) geom.Pose {
 		}
 	}
 	if f.effectiveFraction() < f.cfg.ResampleFrac {
+		f.resamples.Inc()
 		f.resample()
+	}
+	if f.aliveGauge != nil {
+		f.aliveGauge.Set(float64(f.NumAlive()))
 	}
 	return f.Estimate()
 }

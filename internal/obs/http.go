@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// HealthPayload is the /healthz response body: the application's health
+// surface (e.g. core.Streamer.Health()) plus the registry snapshot, so one
+// scrape answers both "is the stream degraded" and "what do the counters
+// say".
+type HealthPayload struct {
+	Health  any      `json:"health"`
+	Metrics []Metric `json:"metrics,omitempty"`
+}
+
+// DebugMux builds the opt-in debug surface served by -debug-addr:
+//
+//	/metrics      Prometheus text exposition of reg
+//	/healthz      JSON HealthPayload (health() plus reg.Snapshot())
+//	/debug/vars   expvar JSON (reg is also published as expvar "rim")
+//	/debug/pprof  the standard pprof handlers
+//
+// health may be nil (the payload's health field is then null); reg may be
+// nil (empty exposition). The mux is self-contained — nothing is
+// registered on http.DefaultServeMux.
+func DebugMux(reg *Registry, health func() any) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		payload := HealthPayload{Metrics: reg.Snapshot()}
+		if health != nil {
+			payload.Health = health()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(payload); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	reg.PublishExpvar("rim")
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// expvarMu serializes PublishExpvar's get-then-publish (expvar.Publish
+// panics on duplicates and offers no TryPublish).
+var expvarMu sync.Mutex
+
+// PublishExpvar exposes the registry under the given expvar name as a Func
+// rendering Snapshot(). Repeat calls (or calls for an already-taken name)
+// are no-ops, so every DebugMux in a process can safely request it.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// StartDebugServer listens on addr and serves DebugMux(reg, health) in a
+// background goroutine. It returns the server (for Close) and the bound
+// address (useful with a ":0" addr). Startup errors (bad addr, port in
+// use) are returned synchronously.
+func StartDebugServer(addr string, reg *Registry, health func() any) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: debug server: %w", err)
+	}
+	srv := &http.Server{Handler: DebugMux(reg, health)}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func getBody(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("rim_smoke_total", "smoke counter").Add(9)
+	// A histogram's snapshot carries a +Inf bucket; /healthz must encode it
+	// (encoding/json rejects raw infinities).
+	reg.Timer("rim_smoke_seconds", "smoke latency").Observe(0.004)
+	type health struct {
+		Slots int    `json:"slots"`
+		State string `json:"state"`
+	}
+	srv := httptest.NewServer(DebugMux(reg, func() any { return health{Slots: 42, State: "ok"} }))
+	defer srv.Close()
+
+	code, body := getBody(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "rim_smoke_total 9\n") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	code, body = getBody(t, srv, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d", code)
+	}
+	var payload struct {
+		Health  health   `json:"health"`
+		Metrics []Metric `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("/healthz not JSON: %v\n%s", err, body)
+	}
+	if payload.Health.Slots != 42 || payload.Health.State != "ok" {
+		t.Errorf("/healthz health = %+v", payload.Health)
+	}
+	if len(payload.Metrics) != 2 || payload.Metrics[0].Name != "rim_smoke_seconds" ||
+		payload.Metrics[1].Name != "rim_smoke_total" {
+		t.Errorf("/healthz metrics = %+v", payload.Metrics)
+	}
+	if bk := payload.Metrics[0].Buckets; len(bk) == 0 ||
+		!math.IsInf(bk[len(bk)-1].UpperBound, 1) ||
+		bk[len(bk)-1].CumulativeCount != 1 {
+		t.Errorf("/healthz histogram buckets = %+v", payload.Metrics[0].Buckets)
+	}
+
+	// pprof index and expvar must answer.
+	if code, _ := getBody(t, srv, "/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+	code, body = getBody(t, srv, "/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "rim") {
+		t.Errorf("/debug/vars status %d body %q", code, body[:min(len(body), 200)])
+	}
+}
+
+func TestDebugMuxNilRegistryAndHealth(t *testing.T) {
+	srv := httptest.NewServer(DebugMux(nil, nil))
+	defer srv.Close()
+	if code, body := getBody(t, srv, "/metrics"); code != http.StatusOK || body != "" {
+		t.Errorf("/metrics on nil registry: status %d body %q", code, body)
+	}
+	code, body := getBody(t, srv, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d", code)
+	}
+	var payload map[string]any
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("/healthz not JSON: %v", err)
+	}
+	if payload["health"] != nil {
+		t.Errorf("health = %v, want null", payload["health"])
+	}
+}
+
+func TestStartDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("rim_started_total", "").Inc()
+	srv, addr, err := StartDebugServer("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(b), "rim_started_total 1") {
+		t.Errorf("debug server exposition:\n%s", b)
+	}
+}

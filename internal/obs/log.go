@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// discardHandler is an slog.Handler that drops every record (Go 1.24 has
+// slog.DiscardHandler; this repo targets 1.22).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// nopLogger is shared: a *slog.Logger whose handler is disabled at every
+// level, so Logger().Warn(...) on an unconfigured process costs one
+// Enabled check and allocates nothing.
+var nopLogger = slog.New(discardHandler{})
+
+// NopLogger returns a logger that discards everything (its handler reports
+// every level disabled).
+func NopLogger() *slog.Logger { return nopLogger }
+
+// pkgLogger is the package-level default handed to pipelines whose config
+// carries no logger. It starts as the no-op logger: library code must stay
+// silent unless the embedding binary opts in via SetLogger.
+var pkgLogger atomic.Pointer[slog.Logger]
+
+func init() { pkgLogger.Store(nopLogger) }
+
+// Logger returns the package-level default logger (the no-op logger until
+// SetLogger is called).
+func Logger() *slog.Logger { return pkgLogger.Load() }
+
+// SetLogger replaces the package-level default logger. A nil l restores
+// the no-op logger.
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = nopLogger
+	}
+	pkgLogger.Store(l)
+}
+
+// NewTextLogger builds a level-filtered text logger writing to w — the
+// one-liner binaries use for -debug-addr / verbose runs.
+func NewTextLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}

@@ -1,0 +1,415 @@
+// Package obs is RIM's dependency-free observability substrate: a metrics
+// registry of atomic counters, gauges and fixed-bucket latency histograms,
+// lightweight stage-span timers, structured logging helpers (log/slog),
+// and HTTP exposition in both expvar and Prometheus text format plus a
+// pprof-equipped debug mux (see http.go).
+//
+// The package is built for hot paths: every metric handle is nil-safe, so
+// un-instrumented runs (a nil *Registry) pay only a nil check per
+// operation — no time.Now() calls, no allocation, no atomics. Pipelines
+// resolve their handles once at construction and the per-packet cost of
+// disabled observability stays far below 1% of a streaming hop (guarded by
+// TestObsOverheadGuard and BENCH_obs.json at the repo root).
+//
+// Metric naming follows the Prometheus conventions: `rim_` prefix,
+// `_total` suffix on counters, `_seconds` on latency histograms. The full
+// metric table lives in DESIGN.md ("Observability").
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// validName is the Prometheus metric name charset.
+var validName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// Counter is a monotonically increasing counter. All methods are safe on a
+// nil receiver (no-ops), so disabled instrumentation costs one nil check.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n is unsigned: counters only go up).
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value. Nil-safe like Counter.
+type Gauge struct {
+	name, help string
+	bits       atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta (CAS loop; gauges move both ways).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution (Prometheus semantics: bounds
+// are inclusive upper edges, +Inf is implicit). Observations are atomic;
+// snapshots are not a consistent cut across buckets/sum, which is the
+// standard (and harmless) relaxation for monitoring. Nil-safe.
+type Histogram struct {
+	name, help string
+	bounds     []float64 // ascending upper bounds, +Inf excluded
+	counts     []atomic.Uint64
+	infCount   atomic.Uint64
+	sumBits    atomic.Uint64 // float64 bits, CAS-added
+	count      atomic.Uint64
+}
+
+// DefLatencyBuckets are the default stage-latency bucket bounds in
+// seconds: 10 µs to 2.5 s, roughly ×2.5 apart — wide enough for a full
+// batch rebuild, fine enough to resolve an incremental hop.
+var DefLatencyBuckets = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3,
+	250e-3, 500e-3, 1, 2.5,
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search is overkill for <32 buckets; linear scan is
+	// branch-predictor friendly and allocation-free.
+	placed := false
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.infCount.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts by
+// linear interpolation inside the located bucket, the same estimate
+// Prometheus' histogram_quantile computes. Returns NaN when empty; values
+// landing in the +Inf bucket clamp to the highest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.count.Load() == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := h.count.Load()
+	rank := q * float64(total)
+	var cum uint64
+	lower := 0.0
+	for i, b := range h.bounds {
+		c := h.counts[i].Load()
+		if float64(cum+c) >= rank && c > 0 {
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (b-lower)*frac
+		}
+		cum += c
+		lower = b
+	}
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return math.NaN()
+}
+
+// Span is a started stage timer; End records the elapsed seconds into the
+// histogram. The zero Span (from a nil histogram) is a no-op and performs
+// no clock reads, so spans on disabled registries cost two nil checks.
+type Span struct {
+	h  *Histogram
+	t0 time.Time
+}
+
+// StartSpan begins timing into h (no-op Span when h is nil).
+func StartSpan(h *Histogram) Span {
+	if h == nil {
+		return Span{}
+	}
+	return Span{h: h, t0: time.Now()}
+}
+
+// End records the elapsed time. Safe to call on the zero Span.
+func (s Span) End() {
+	if s.h == nil {
+		return
+	}
+	s.h.Observe(time.Since(s.t0).Seconds())
+}
+
+// Registry is a named collection of metrics. The zero value is ready to
+// use; a nil *Registry is valid everywhere and hands out nil metric
+// handles, making every downstream operation a no-op.
+//
+// Registry contains a mutex and must not be copied after first use
+// (enforced repo-wide by `go vet -copylocks`).
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]any // *Counter | *Gauge | *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) lookup(name string) (any, bool) {
+	if r.metrics == nil {
+		r.metrics = make(map[string]any)
+	}
+	m, ok := r.metrics[name]
+	if !ok && !validName.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	return m, ok
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Re-registering a name as a different metric kind panics (programmer
+// error). A nil registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.lookup(name); ok {
+		c, ok := m.(*Counter)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q already registered as %T, not counter", name, m))
+		}
+		return c
+	}
+	c := &Counter{name: name, help: help}
+	r.metrics[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.lookup(name); ok {
+		g, ok := m.(*Gauge)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q already registered as %T, not gauge", name, m))
+		}
+		return g
+	}
+	g := &Gauge{name: name, help: help}
+	r.metrics[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket bounds on first use (nil bounds select
+// DefLatencyBuckets). Bounds must be strictly ascending.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.lookup(name); ok {
+		h, ok := m.(*Histogram)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q already registered as %T, not histogram", name, m))
+		}
+		return h
+	}
+	if bounds == nil {
+		bounds = DefLatencyBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bucket bounds not ascending at %d", name, i))
+		}
+	}
+	h := &Histogram{name: name, help: help, bounds: bounds}
+	h.counts = make([]atomic.Uint64, len(bounds))
+	r.metrics[name] = h
+	return h
+}
+
+// Timer is the convenience for stage-latency histograms: a histogram with
+// the default latency buckets.
+func (r *Registry) Timer(name, help string) *Histogram {
+	return r.Histogram(name, help, nil)
+}
+
+// Bucket is one cumulative histogram bucket in a snapshot.
+type Bucket struct {
+	// UpperBound is the inclusive upper edge (+Inf for the last bucket).
+	UpperBound float64 `json:"-"`
+	// CumulativeCount counts observations <= UpperBound.
+	CumulativeCount uint64 `json:"count"`
+}
+
+// bucketJSON is Bucket's wire form: encoding/json rejects +Inf, so the
+// upper edge travels as a string — the same convention Prometheus uses for
+// the le label.
+type bucketJSON struct {
+	UpperBound      string `json:"le"`
+	CumulativeCount uint64 `json:"count"`
+}
+
+// MarshalJSON encodes the bucket with its upper edge as a string ("+Inf"
+// for the overflow bucket).
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	return json.Marshal(bucketJSON{
+		UpperBound:      formatFloat(b.UpperBound),
+		CumulativeCount: b.CumulativeCount,
+	})
+}
+
+// UnmarshalJSON decodes the string upper edge back into a float64.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var j bucketJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	le, err := strconv.ParseFloat(j.UpperBound, 64)
+	if err != nil {
+		return fmt.Errorf("obs: bucket le %q: %w", j.UpperBound, err)
+	}
+	b.UpperBound = le
+	b.CumulativeCount = j.CumulativeCount
+	return nil
+}
+
+// Metric is one metric's point-in-time snapshot (JSON-marshalable for
+// /healthz and expvar).
+type Metric struct {
+	Name string `json:"name"`
+	Help string `json:"help,omitempty"`
+	Type string `json:"type"` // "counter" | "gauge" | "histogram"
+	// Value carries counter and gauge readings.
+	Value float64 `json:"value,omitempty"`
+	// Count/Sum/Buckets carry histogram readings.
+	Count   uint64   `json:"count,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot returns every registered metric's current reading, sorted by
+// name. Nil registries return nil.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	handles := make([]any, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		handles = append(handles, r.metrics[n])
+	}
+	r.mu.Unlock()
+
+	out := make([]Metric, 0, len(names))
+	for i, n := range names {
+		switch m := handles[i].(type) {
+		case *Counter:
+			out = append(out, Metric{Name: n, Help: m.help, Type: "counter", Value: float64(m.Value())})
+		case *Gauge:
+			out = append(out, Metric{Name: n, Help: m.help, Type: "gauge", Value: m.Value()})
+		case *Histogram:
+			sm := Metric{Name: n, Help: m.help, Type: "histogram", Count: m.Count(), Sum: m.Sum()}
+			var cum uint64
+			for bi, b := range m.bounds {
+				cum += m.counts[bi].Load()
+				sm.Buckets = append(sm.Buckets, Bucket{UpperBound: b, CumulativeCount: cum})
+			}
+			cum += m.infCount.Load()
+			sm.Buckets = append(sm.Buckets, Bucket{UpperBound: math.Inf(1), CumulativeCount: cum})
+			out = append(out, sm)
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// escapeHelp escapes a HELP string per the Prometheus text format v0.0.4:
+// backslash and newline are escaped, everything else passes through.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value: backslash, newline and double quote.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// formatFloat renders a sample value the way Prometheus expects: shortest
+// round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): # HELP / # TYPE headers, cumulative
+// histogram buckets with the mandatory +Inf bucket, _sum and _count
+// series. Metrics appear sorted by name. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range r.Snapshot() {
+		if m.Help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(m.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(m.Help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(m.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(m.Type)
+		bw.WriteByte('\n')
+		switch m.Type {
+		case "histogram":
+			for _, b := range m.Buckets {
+				bw.WriteString(m.Name)
+				bw.WriteString(`_bucket{le="`)
+				bw.WriteString(escapeLabel(formatFloat(b.UpperBound)))
+				bw.WriteString(`"} `)
+				bw.WriteString(strconv.FormatUint(b.CumulativeCount, 10))
+				bw.WriteByte('\n')
+			}
+			bw.WriteString(m.Name)
+			bw.WriteString("_sum ")
+			bw.WriteString(formatFloat(m.Sum))
+			bw.WriteByte('\n')
+			bw.WriteString(m.Name)
+			bw.WriteString("_count ")
+			bw.WriteString(strconv.FormatUint(m.Count, 10))
+			bw.WriteByte('\n')
+		default: // counter, gauge
+			bw.WriteString(m.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(formatFloat(m.Value))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func expo(r *Registry) string {
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		panic(err)
+	}
+	return sb.String()
+}
+
+func TestPrometheusCounterGaugeTyping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rim_frames_total", "frames ingested").Add(3)
+	r.Gauge("rim_dead_antennas", "currently dead antennas").Set(2)
+	out := expo(r)
+	for _, want := range []string{
+		"# HELP rim_frames_total frames ingested\n",
+		"# TYPE rim_frames_total counter\n",
+		"rim_frames_total 3\n",
+		"# TYPE rim_dead_antennas gauge\n",
+		"rim_dead_antennas 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rim_esc_total", "line one\nback\\slash").Inc()
+	out := expo(r)
+	want := `# HELP rim_esc_total line one\nback\\slash` + "\n"
+	if !strings.Contains(out, want) {
+		t.Errorf("help not escaped, want %q in:\n%s", want, out)
+	}
+	if strings.Contains(out, "line one\nback") {
+		t.Error("raw newline leaked into HELP line")
+	}
+}
+
+func TestPrometheusHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("rim_hop_seconds", "hop latency", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.005, 0.005, 0.05, 7} {
+		h.Observe(v)
+	}
+	out := expo(r)
+	wantLines := []string{
+		"# TYPE rim_hop_seconds histogram",
+		`rim_hop_seconds_bucket{le="0.001"} 1`,
+		`rim_hop_seconds_bucket{le="0.01"} 3`,
+		`rim_hop_seconds_bucket{le="0.1"} 4`,
+		`rim_hop_seconds_bucket{le="+Inf"} 5`,
+		"rim_hop_seconds_count 5",
+	}
+	for _, want := range wantLines {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Bucket series must be cumulative (non-decreasing in order).
+	idx := -1
+	prev := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "rim_hop_seconds_bucket") {
+			if prev != "" && strings.Compare(prev, line) == 0 {
+				t.Errorf("duplicate bucket line %q", line)
+			}
+			prev = line
+			idx++
+		}
+	}
+	if idx != 3 {
+		t.Errorf("got %d bucket lines, want 4", idx+1)
+	}
+	// _sum must be the plain float sum.
+	if !strings.Contains(out, "rim_hop_seconds_sum 7.0605\n") {
+		t.Errorf("missing _sum line in:\n%s", out)
+	}
+}
+
+func TestPrometheusSortedAndNilRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rim_b_total", "").Inc()
+	r.Counter("rim_a_total", "").Inc()
+	out := expo(r)
+	if strings.Index(out, "rim_a_total") > strings.Index(out, "rim_b_total") {
+		t.Error("metrics not sorted by name")
+	}
+	var nilReg *Registry
+	if got := expo(nilReg); got != "" {
+		t.Errorf("nil registry exposition = %q, want empty", got)
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	got := escapeLabel("a\"b\\c\nd")
+	want := `a\"b\\c\nd`
+	if got != want {
+		t.Errorf("escapeLabel = %q, want %q", got, want)
+	}
+}

@@ -3,6 +3,7 @@ package trrs
 import (
 	"fmt"
 
+	"rim/internal/obs"
 	"rim/internal/sigproc"
 )
 
@@ -45,6 +46,13 @@ type Incremental struct {
 	norm       [][][][]complex128
 	start, end int
 	mats       map[PairSpec]*incMat
+
+	// Observability handles (nil = unobserved): per-ExtendMatrix rows
+	// carried over untouched vs invalidated-and-recomputed, plus the
+	// engine-level handles propagated into every EngineView.
+	rowsReused, rowsStale *obs.Counter
+	rowsFilled            *obs.Counter
+	poolGauge             *obs.Gauge
 }
 
 // incMat is one maintained pair matrix plus the absolute window
@@ -88,6 +96,26 @@ func (inc *Incremental) SetParallelism(n int) {
 		n = 0
 	}
 	inc.par = n
+}
+
+// SetObs points the incremental engine's utilization counters at a
+// registry: rows reused vs invalidated per ExtendMatrix
+// (rim_trrs_rows_reused_total / rim_trrs_rows_stale_total) plus the
+// engine-level fill/pool handles inherited by every EngineView. A nil
+// registry detaches them.
+func (inc *Incremental) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		inc.rowsReused, inc.rowsStale, inc.rowsFilled, inc.poolGauge = nil, nil, nil, nil
+		return
+	}
+	inc.rowsReused = reg.Counter("rim_trrs_rows_reused_total",
+		"base-matrix rows carried over untouched by the incremental engine")
+	inc.rowsStale = reg.Counter("rim_trrs_rows_stale_total",
+		"base-matrix rows invalidated (head drop / tail extension) and recomputed")
+	inc.rowsFilled = reg.Counter("rim_trrs_rows_filled_total",
+		"TRRS base-matrix rows computed from scratch")
+	inc.poolGauge = reg.Gauge("rim_trrs_pool_workers",
+		"worker count of the most recent TRRS pool build")
 }
 
 // NumSlots returns the current window length.
@@ -156,12 +184,14 @@ func (inc *Incremental) EngineView(ants []int) (*Engine, error) {
 		}
 	}
 	e := &Engine{
-		rate:    inc.rate,
-		numAnts: len(ants),
-		numTx:   inc.numTx,
-		slots:   inc.NumSlots(),
-		norm:    make([][][][]complex128, len(ants)),
-		par:     inc.par,
+		rate:       inc.rate,
+		numAnts:    len(ants),
+		numTx:      inc.numTx,
+		slots:      inc.NumSlots(),
+		norm:       make([][][][]complex128, len(ants)),
+		par:        inc.par,
+		rowsFilled: inc.rowsFilled,
+		poolGauge:  inc.poolGauge,
 	}
 	for k, a := range ants {
 		if a < 0 || a >= inc.numAnt {
@@ -220,6 +250,8 @@ func (inc *Incremental) ExtendMatrix(i, j int) (*Matrix, error) {
 		}
 	}
 	m := &Matrix{I: i, J: j, W: inc.w, Rate: inc.rate, Vals: vals}
+	inc.rowsReused.Add(uint64(tSlots - len(stale)))
+	inc.rowsStale.Add(uint64(len(stale)))
 	e.fillRowsSharded(m, stale)
 	im.m, im.start, im.end = m, inc.start, inc.end
 	return m, nil

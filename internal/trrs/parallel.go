@@ -29,8 +29,10 @@ func (e *Engine) BaseMatrices(pairs []PairSpec, w int) []*Matrix {
 	if len(pairs) == 0 {
 		return out
 	}
+	e.rowsFilled.Add(uint64(len(pairs) * e.slots))
 	workers := e.workers()
 	if workers == 1 || e.slots == 0 {
+		e.poolGauge.Set(1)
 		for k, p := range pairs {
 			out[k] = e.BaseMatrixSerial(p.I, p.J, w)
 		}
@@ -67,6 +69,7 @@ func (e *Engine) BaseMatrices(pairs []PairSpec, w int) []*Matrix {
 	if workers > len(shards) {
 		workers = len(shards)
 	}
+	e.poolGauge.Set(float64(workers))
 
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -96,6 +99,7 @@ func (e *Engine) BaseMatrices(pairs []PairSpec, w int) []*Matrix {
 // rows holds local row indices into m.Vals; every listed row must already
 // be allocated at width 2W+1.
 func (e *Engine) fillRowsSharded(m *Matrix, rows []int) {
+	e.rowsFilled.Add(uint64(len(rows)))
 	workers := e.workers()
 	if workers > len(rows) {
 		workers = len(rows)

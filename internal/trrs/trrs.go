@@ -18,6 +18,7 @@ import (
 	"runtime"
 
 	"rim/internal/csi"
+	"rim/internal/obs"
 	"rim/internal/sigproc"
 )
 
@@ -33,6 +34,11 @@ type Engine struct {
 	// par is the worker count for matrix computation: 0 means GOMAXPROCS,
 	// 1 means the serial reference path (see SetParallelism).
 	par int
+	// Observability handles (nil = unobserved, every use a no-op): rows of
+	// base matrices computed from scratch, and the pool's effective worker
+	// count on the most recent build.
+	rowsFilled *obs.Counter
+	poolGauge  *obs.Gauge
 }
 
 // SetParallelism sets the worker count used by BaseMatrix/BaseMatrices:
@@ -49,6 +55,21 @@ func (e *Engine) SetParallelism(n int) {
 
 // Parallelism returns the configured worker count (0 = GOMAXPROCS).
 func (e *Engine) Parallelism() int { return e.par }
+
+// SetObs points the engine's utilization counters at a registry: the
+// number of base-matrix rows computed from scratch
+// (rim_trrs_rows_filled_total) and the worker-pool size of the most recent
+// build (rim_trrs_pool_workers). A nil registry detaches them.
+func (e *Engine) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		e.rowsFilled, e.poolGauge = nil, nil
+		return
+	}
+	e.rowsFilled = reg.Counter("rim_trrs_rows_filled_total",
+		"TRRS base-matrix rows computed from scratch")
+	e.poolGauge = reg.Gauge("rim_trrs_pool_workers",
+		"worker count of the most recent TRRS pool build")
+}
 
 // workers resolves the effective worker count.
 func (e *Engine) workers() int {
