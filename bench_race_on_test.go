@@ -1,0 +1,7 @@
+//go:build race
+
+package rim
+
+// raceEnabled reports whether the race detector is active; the allocation
+// gate in TestBenchGuard is meaningless under its instrumentation.
+const raceEnabled = true

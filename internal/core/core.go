@@ -68,6 +68,11 @@ type Config struct {
 	// and n > 1 uses exactly n workers. All settings produce bit-for-bit
 	// identical matrices.
 	Parallelism int
+	// Kernel selects the TRRS inner-product kernel (see trrs.Kernel). The
+	// zero value, trrs.KernelSequential, is bit-for-bit identical to the
+	// reference arithmetic; trrs.KernelUnrolled4 opts into the pipelined
+	// 4-accumulator kernel (1e-12-relative agreement).
+	Kernel trrs.Kernel
 	// Obs is the observability registry stage timers and counters report
 	// into (see internal/obs and DESIGN.md "Observability"). nil — the
 	// default — disables metrics; disabled instrumentation costs one nil
@@ -298,6 +303,7 @@ func NewPipeline(s *csi.Series, cfg Config) (*Pipeline, error) {
 	cfg.applyDefaults(s.Rate)
 	eng := trrs.NewEngine(s)
 	eng.SetParallelism(cfg.Parallelism)
+	eng.SetKernel(cfg.Kernel)
 	eng.SetObs(cfg.Obs)
 	return newPipelineFromEngine(eng, nil, missFracOf(s.Missing, s.NumAnts, s.NumSlots()), cfg)
 }
@@ -340,7 +346,9 @@ func newPipelineFromEngine(eng *trrs.Engine, baseFor func(i, j int) *trrs.Matrix
 
 	// Base matrices are shared between translation groups and the
 	// rotation ring; collect the distinct pairs first so the bulk source
-	// computes each exactly once, in one pool.
+	// computes each exactly once, in one pool. Reversed pairs and
+	// self-pairs need no handling here: BaseMatrices derives them by the
+	// Hermitian reflection instead of recomputing (see trrs.BaseMatrices).
 	angTol := geom.Rad(2)
 	groups := cfg.Array.ParallelGroups(angTol, 1e-6)
 	var ring []array.Pair

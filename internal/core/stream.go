@@ -115,6 +115,14 @@ type Streamer struct {
 	wSlots int
 	// inc is the incremental TRRS engine (nil when cfg.Recompute).
 	inc *trrs.Incremental
+	// incSnap is the reused per-push snapshot scratch handed to inc.Append
+	// (which copies the rows), and remapHdr the reused per-pair Matrix
+	// headers of analyzeAlive's index remapping — neither allocates on the
+	// steady-state path.
+	incSnap  [][][]complex128
+	remapHdr map[[2]int]*trrs.Matrix
+	// aliveScratch backs aliveAntennas' per-hop result.
+	aliveScratch []int
 	// buf[ant][tx] holds the windowed snapshots.
 	buf [][][][]complex128
 	// missing[ant] flags windowed slots whose sample was lost, rejected
@@ -253,9 +261,16 @@ func NewStreamer(cfg StreamConfig, rate float64, numAnts, numTx, numSub int) (*S
 			return nil, err
 		}
 		inc.SetParallelism(cfg.Core.Parallelism)
+		inc.SetKernel(cfg.Core.Kernel)
 		inc.SetObs(cfg.Core.Obs)
 		st.inc = inc
+		st.incSnap = make([][][]complex128, numAnts)
+		for a := range st.incSnap {
+			st.incSnap[a] = make([][]complex128, numTx)
+		}
+		st.remapHdr = map[[2]int]*trrs.Matrix{}
 	}
+	st.aliveScratch = make([]int, 0, numAnts)
 	st.buf = make([][][][]complex128, numAnts)
 	st.missing = make([][]bool, numAnts)
 	st.lastGood = make([][][]complex128, numAnts)
@@ -379,10 +394,7 @@ func (st *Streamer) PushMasked(snapshot [][][]complex128, missing []bool) ([]Est
 		st.corruptSlots++
 		st.ob.corrupt.Inc()
 	}
-	var incSnap [][][]complex128
-	if st.inc != nil {
-		incSnap = make([][][]complex128, st.numAnts)
-	}
+	incSnap := st.incSnap // reused scratch; inc.Append copies the rows
 	for a := 0; a < st.numAnts; a++ {
 		var rows [][]complex128
 		switch {
@@ -393,9 +405,6 @@ func (st *Streamer) PushMasked(snapshot [][][]complex128, missing []bool) ([]Est
 			rows = snapshot[a]
 		default:
 			rows = st.lastGood[a] // may hold nil entries before first sample
-		}
-		if incSnap != nil {
-			incSnap[a] = make([][]complex128, st.numTx)
 		}
 		for tx := 0; tx < st.numTx; tx++ {
 			row := rows[tx]
@@ -536,14 +545,16 @@ func (st *Streamer) Flush() []Estimate {
 
 func (st *Streamer) bufLen() int { return len(st.buf[0][0]) }
 
-// aliveAntennas returns the indices of antennas not currently dead.
+// aliveAntennas returns the indices of antennas not currently dead. The
+// result aliases a per-Streamer scratch, overwritten by the next call.
 func (st *Streamer) aliveAntennas() []int {
-	out := make([]int, 0, st.numAnts)
+	out := st.aliveScratch[:0]
 	for a := 0; a < st.numAnts; a++ {
 		if !st.dead[a] {
 			out = append(out, a)
 		}
 	}
+	st.aliveScratch = out
 	return out
 }
 
@@ -692,7 +703,15 @@ func (st *Streamer) analyzeAlive(alive []int) (*Result, error) {
 		if m.I == i && m.J == j {
 			return m
 		}
-		return &trrs.Matrix{I: i, J: j, W: m.W, Rate: m.Rate, Vals: m.Vals}
+		// Remapped identity: reuse a cached header per local pair so the
+		// steady-state fallback path does not allocate one every hop.
+		hdr, ok := st.remapHdr[[2]int{i, j}]
+		if !ok {
+			hdr = &trrs.Matrix{}
+			st.remapHdr[[2]int{i, j}] = hdr
+		}
+		*hdr = trrs.Matrix{I: i, J: j, W: m.W, Rate: m.Rate, Vals: m.Vals}
+		return hdr
 	}
 	missing := make([][]bool, len(alive))
 	for i, a := range alive {

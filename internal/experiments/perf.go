@@ -33,6 +33,16 @@ type PerfResult struct {
 	// BatchSpeedup and StreamSpeedup are the corresponding ratios.
 	BatchSpeedup  float64 `json:"batch_speedup"`
 	StreamSpeedup float64 `json:"stream_speedup"`
+	// SymmetricSpeedup is the single-core gain from deriving reversed and
+	// self pairs by Hermitian reflection in one BaseMatrices call instead
+	// of computing every matrix from scratch.
+	SymmetricSpeedup float64 `json:"symmetric_speedup"`
+	// HopNs and HopAllocsPerOp are one steady-state incremental hop
+	// (append W, drop W, refresh the pair matrix) at Parallelism 1. The
+	// hot path runs in ring- and matrix-owned storage, so allocs/op is 0
+	// once the window geometry has settled.
+	HopNs          float64 `json:"hop_ns"`
+	HopAllocsPerOp float64 `json:"hop_allocs_per_op"`
 	// Stages holds the per-stage latency percentiles of an instrumented
 	// (registry-attached) incremental replay of the same trace.
 	Stages []StageLatency `json:"stages,omitempty"`
@@ -74,6 +84,61 @@ func timeBest(reps int, f func()) time.Duration {
 		}
 	}
 	return best
+}
+
+// hopStats measures one steady-state incremental hop at Parallelism 1:
+// best-of-reps wall time plus the malloc count per hop (via the runtime's
+// cumulative Mallocs counter, averaged over a settled run).
+func hopStats(s *csi.Series, w, reps int) (time.Duration, float64) {
+	inc, err := trrs.NewIncremental(s.Rate, s.NumAnts, s.NumTx, w)
+	if err != nil {
+		panic(err)
+	}
+	inc.SetParallelism(1)
+	snaps := make([][][][]complex128, s.NumSlots())
+	for ti := range snaps {
+		snap := make([][][]complex128, s.NumAnts)
+		for a := 0; a < s.NumAnts; a++ {
+			snap[a] = make([][]complex128, s.NumTx)
+			for tx := 0; tx < s.NumTx; tx++ {
+				snap[a][tx] = s.H[a][tx][ti]
+			}
+		}
+		snaps[ti] = snap
+	}
+	for ti := 0; ti < s.NumSlots(); ti++ {
+		if err := inc.Append(snaps[ti]); err != nil {
+			panic(err)
+		}
+	}
+	if _, err := inc.ExtendMatrix(0, 2); err != nil {
+		panic(err)
+	}
+	k := 0
+	hopOnce := func() {
+		for n := 0; n < w; n++ {
+			if err := inc.Append(snaps[k%len(snaps)]); err != nil {
+				panic(err)
+			}
+			k++
+		}
+		inc.DropFront(w)
+		if _, err := inc.ExtendMatrix(0, 2); err != nil {
+			panic(err)
+		}
+	}
+	for n := 0; n < 12; n++ {
+		hopOnce() // settle the ring and both matrix generations
+	}
+	best := timeBest(reps, hopOnce)
+	const allocRuns = 10
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for n := 0; n < allocRuns; n++ {
+		hopOnce()
+	}
+	runtime.ReadMemStats(&after)
+	return best, float64(after.Mallocs-before.Mallocs) / allocRuns
 }
 
 // replayThroughput replays s through a fresh streamer and returns slots/s.
@@ -154,6 +219,18 @@ func Perf(scale Scale) *PerfResult {
 	e.SetParallelism(0)
 	parallel := timeBest(reps, func() { e.BaseMatrix(0, 2, w) })
 
+	// Symmetric pair set on one core: reflection dedup vs from-scratch.
+	symPairs := []trrs.PairSpec{{I: 0, J: 2}, {I: 2, J: 0}, {I: 1, J: 1}}
+	e.SetParallelism(1)
+	symNaive := timeBest(reps, func() {
+		for _, p := range symPairs {
+			e.BaseMatrixSerial(p.I, p.J, w)
+		}
+	})
+	symDedup := timeBest(reps, func() { e.BaseMatrices(symPairs, w) })
+
+	hopNs, hopAllocs := hopStats(s, w, reps)
+
 	oracleCfg := core.StreamConfig{Core: cfg, Recompute: true}
 	oracleCfg.Core.Parallelism = 1
 	incCfg := core.StreamConfig{Core: cfg}
@@ -167,6 +244,9 @@ func Perf(scale Scale) *PerfResult {
 		IncrementalSlotsPerSec: incremental,
 		BatchSpeedup:           float64(serial) / float64(parallel),
 		StreamSpeedup:          incremental / recompute,
+		SymmetricSpeedup:       float64(symNaive) / float64(symDedup),
+		HopNs:                  float64(hopNs.Nanoseconds()),
+		HopAllocsPerOp:         hopAllocs,
 		Stages:                 stageLatencies(s, incCfg),
 	}
 
@@ -182,6 +262,10 @@ func Perf(scale Scale) *PerfResult {
 	rep.AddRow("stream recompute", "throughput", fmt.Sprintf("%.0f slots/s", recompute), "1.00x")
 	rep.AddRow("stream incremental", "throughput", fmt.Sprintf("%.0f slots/s", incremental),
 		fmt.Sprintf("%.2fx", out.StreamSpeedup))
+	rep.AddRow("symmetric pairs dedup", "build time (1 core)", symDedup.Round(time.Microsecond).String(),
+		fmt.Sprintf("%.2fx", out.SymmetricSpeedup))
+	rep.AddRow("incremental hop", "steady-state cost", hopNs.Round(time.Microsecond).String(),
+		fmt.Sprintf("%.0f allocs/op", hopAllocs))
 	rep.AddNote("GOMAXPROCS=%d; trace %d slots at %.0f Hz, W=%d slots; on 1 core the parallel pool degenerates to the serial loop",
 		runtime.GOMAXPROCS(0), s.NumSlots(), s.Rate, w)
 	rep.AddNote("real-time margin: incremental streams %.1fx faster than the %.0f Hz arrival rate",

@@ -15,11 +15,36 @@ func benchFixture(tb testing.TB) (*csi.Series, int) {
 	return randomSeries(rng, 3, 2, 30, 400), 50
 }
 
-// BenchmarkTRRSMatrixSerial is the seed's single-threaded base-matrix
-// computation — the reference the parallel numbers are reported against.
+// BenchmarkTRRSMatrixSerial is the single-threaded base-matrix computation
+// with the default (sequential, bit-exact) SoA kernel — the reference the
+// parallel and symmetry numbers are reported against.
 func BenchmarkTRRSMatrixSerial(b *testing.B) {
 	s, w := benchFixture(b)
 	e := NewEngine(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkMatrix = e.BaseMatrixSerial(0, 2, w)
+	}
+}
+
+// BenchmarkTRRSMatrixAoSRef is the seed's array-of-structs layout and
+// []complex128 kernel, reimplemented via the same aosRef the equivalence
+// suite pins against — the denominator for the SoA kernel's speedup.
+func BenchmarkTRRSMatrixAoSRef(b *testing.B) {
+	s, w := benchFixture(b)
+	ref := newAoSRef(s, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkRows = ref.matrix(0, 2, w)
+	}
+}
+
+// BenchmarkTRRSMatrixUnrolled is the serial build with the opt-in
+// 4-accumulator kernel (1e-12-equivalent, not bit-exact).
+func BenchmarkTRRSMatrixUnrolled(b *testing.B) {
+	s, w := benchFixture(b)
+	e := NewEngine(s)
+	e.SetKernel(KernelUnrolled4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sinkMatrix = e.BaseMatrixSerial(0, 2, w)
@@ -51,9 +76,45 @@ func BenchmarkTRRSMatricesBulk(b *testing.B) {
 	}
 }
 
+// symmetricPairs is a workload where Hermitian deduplication bites: a
+// reversed pair plus a self-pair, as produced by bidirectional pair
+// requests and the §4.1 self-TRRS. Three full matrices from ~1.5 matrices
+// of kernel work.
+var symmetricPairs = []PairSpec{{I: 0, J: 2}, {I: 2, J: 0}, {I: 1, J: 1}}
+
+// BenchmarkTRRSMatricesSymmetric builds the symmetric pair set with
+// deduplication (single core, so the gain is pure symmetry, not pool
+// fan-out).
+func BenchmarkTRRSMatricesSymmetric(b *testing.B) {
+	s, w := benchFixture(b)
+	e := NewEngine(s)
+	e.SetParallelism(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkMatrices = e.BaseMatrices(symmetricPairs, w)
+	}
+}
+
+// BenchmarkTRRSMatricesSymmetricNaive is the same pair set with every
+// matrix computed from scratch — what the build cost before symmetry
+// deduplication.
+func BenchmarkTRRSMatricesSymmetricNaive(b *testing.B) {
+	s, w := benchFixture(b)
+	e := NewEngine(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range symmetricPairs {
+			sinkMatrix = e.BaseMatrixSerial(p.I, p.J, w)
+		}
+	}
+}
+
 // BenchmarkTRRSIncrementalHop measures one steady-state streaming hop:
-// append hop slots, drop hop slots, refresh the pair matrix. Compare with
-// BenchmarkTRRSRecomputeHop, the per-hop cost the seed paid.
+// append hop slots, drop hop slots, refresh the pair matrix — at
+// Parallelism 1, the single-core hot path whose allocs/op must be 0
+// (snapshots are pre-extracted so the harness stays out of the
+// measurement). Compare with BenchmarkTRRSRecomputeHop, the per-hop cost
+// the seed paid.
 func BenchmarkTRRSIncrementalHop(b *testing.B) {
 	s, w := benchFixture(b)
 	const hop = 50
@@ -61,20 +122,27 @@ func BenchmarkTRRSIncrementalHop(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	inc.SetParallelism(1)
+	snaps := make([][][][]complex128, s.NumSlots())
+	for ti := range snaps {
+		snaps[ti] = seriesSnapshot(s, ti)
+	}
 	for ti := 0; ti < s.NumSlots(); ti++ {
-		if err := inc.Append(seriesSnapshot(s, ti)); err != nil {
+		if err := inc.Append(snaps[ti]); err != nil {
 			b.Fatal(err)
 		}
 	}
 	if _, err := inc.ExtendMatrix(0, 2); err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for k := 0; k < hop; k++ {
-			if err := inc.Append(seriesSnapshot(s, (i*hop+k)%s.NumSlots())); err != nil {
+	// Settle the ring and both ping-pong generations before timing.
+	k := 0
+	hopOnce := func() {
+		for n := 0; n < hop; n++ {
+			if err := inc.Append(snaps[k%len(snaps)]); err != nil {
 				b.Fatal(err)
 			}
+			k++
 		}
 		inc.DropFront(hop)
 		m, err := inc.ExtendMatrix(0, 2)
@@ -82,6 +150,14 @@ func BenchmarkTRRSIncrementalHop(b *testing.B) {
 			b.Fatal(err)
 		}
 		sinkMatrix = m
+	}
+	for n := 0; n < 12; n++ {
+		hopOnce()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hopOnce()
 	}
 }
 
@@ -99,4 +175,5 @@ func BenchmarkTRRSRecomputeHop(b *testing.B) {
 var (
 	sinkMatrix   *Matrix
 	sinkMatrices []*Matrix
+	sinkRows     [][]float64
 )

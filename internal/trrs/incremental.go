@@ -7,7 +7,7 @@ import (
 	"rim/internal/sigproc"
 )
 
-// Incremental is the streaming counterpart of Engine: a ring buffer of
+// Incremental is the streaming counterpart of Engine: a ring of
 // unit-normalized CSI snapshots over a sliding window, plus per-pair base
 // matrices that are extended in place as slots arrive instead of being
 // recomputed from scratch every analysis hop.
@@ -30,22 +30,47 @@ import (
 // identical to Engine.BaseMatrixSerial over a series holding exactly the
 // window's snapshots.
 //
-// Carried-over rows alias the previous generation's storage; a dropped
-// generation is garbage-collected once the sliding window has fully
-// turned over. Incremental is not goroutine-safe; callers serialize
-// access (core.Streamer holds it under its own lock).
+// Storage is structure-of-arrays and steady-state allocation-free: the
+// normalized snapshots live in per-(antenna, tx) re/im planes whose live
+// region is slots [head, head+n); Append normalizes into the tail in
+// place and, when the tail reaches capacity, compacts the live region to
+// the front instead of growing. Each maintained pair matrix ping-pongs
+// between two preallocated backings: a refresh copies carried rows from
+// the previous generation's buffer and recomputes the stale ones, so once
+// the window geometry stabilizes no hop allocates (measured at 0 allocs/op
+// by the bench guard with Parallelism 1; the worker pool's goroutine
+// fan-out allocates by nature).
+//
+// Consequently a matrix returned by ExtendMatrix stays valid only until
+// the pair's next refresh-producing call (the generation after next
+// overwrites its storage); callers must not modify or retain rows across
+// hops. Incremental is not goroutine-safe; callers serialize access
+// (core.Streamer holds it under its own lock).
 type Incremental struct {
 	rate   float64
 	numTx  int
 	numAnt int
 	w      int
 	par    int
-	// norm[ant][tx] is the window of unit-norm snapshots; DropFront
-	// reslices, so the backing arrays stay bounded by append's growth
-	// policy (~2× the window).
-	norm       [][][][]complex128
-	start, end int
-	mats       map[PairSpec]*incMat
+	kernel Kernel
+	// tones is the uniform per-snapshot vector length, learned from the
+	// first Append (-1 before).
+	tones int
+	// rePlane[ant][tx] / imPlane[ant][tx] are the SoA ring planes; the
+	// live window occupies [head·tones, (head+n)·tones) where
+	// n = end − start. len(plane) is always (head+n)·tones.
+	rePlane, imPlane [][][]float64
+	head             int
+	start, end       int
+	mats             map[PairSpec]*incMat
+
+	// view is the cached full-array engine ExtendMatrix refreshes in
+	// place every call (EngineView allocates fresh ones for external
+	// callers); viewAnts is its identity antenna list. staleScratch is
+	// the reused stale-row index buffer.
+	view         *Engine
+	viewAnts     []int
+	staleScratch []int
 
 	// Observability handles (nil = unobserved): per-ExtendMatrix rows
 	// carried over untouched vs invalidated-and-recomputed, plus the
@@ -56,10 +81,17 @@ type Incremental struct {
 }
 
 // incMat is one maintained pair matrix plus the absolute window
-// [start, end) its rows were computed for.
+// [start, end) its rows were computed for. Generations ping-pong between
+// the two flat backings so a refresh never allocates once both are sized:
+// generation g builds in flats[g&1]/rows[g&1] while copying carried rows
+// out of the other buffer, and hdr[g&1] is the reused Matrix header.
 type incMat struct {
 	m          *Matrix
 	start, end int
+	flats      [2][]float64
+	rows       [2][][]float64
+	hdr        [2]Matrix
+	cur        int
 }
 
 // NewIncremental builds an empty incremental engine for CSI with the given
@@ -76,15 +108,18 @@ func NewIncremental(rate float64, numAnts, numTx, w int) (*Incremental, error) {
 		return nil, fmt.Errorf("trrs: incremental lag window W=%d must be non-negative", w)
 	}
 	inc := &Incremental{
-		rate:   rate,
-		numAnt: numAnts,
-		numTx:  numTx,
-		w:      w,
-		norm:   make([][][][]complex128, numAnts),
-		mats:   map[PairSpec]*incMat{},
+		rate:    rate,
+		numAnt:  numAnts,
+		numTx:   numTx,
+		w:       w,
+		tones:   -1,
+		rePlane: make([][][]float64, numAnts),
+		imPlane: make([][][]float64, numAnts),
+		mats:    map[PairSpec]*incMat{},
 	}
-	for a := range inc.norm {
-		inc.norm[a] = make([][][]complex128, numTx)
+	for a := 0; a < numAnts; a++ {
+		inc.rePlane[a] = make([][]float64, numTx)
+		inc.imPlane[a] = make([][]float64, numTx)
 	}
 	return inc, nil
 }
@@ -97,6 +132,13 @@ func (inc *Incremental) SetParallelism(n int) {
 	}
 	inc.par = n
 }
+
+// SetKernel selects the inner-product kernel used by matrix refreshes and
+// every EngineView (same semantics as Engine.SetKernel).
+func (inc *Incremental) SetKernel(k Kernel) { inc.kernel = k }
+
+// Kernel returns the selected inner-product kernel.
+func (inc *Incremental) Kernel() Kernel { return inc.kernel }
 
 // SetObs points the incremental engine's utilization counters at a
 // registry: rows reused vs invalidated per ExtendMatrix
@@ -127,9 +169,59 @@ func (inc *Incremental) W() int { return inc.w }
 // Rate returns the sample rate in Hz.
 func (inc *Incremental) Rate() float64 { return inc.rate }
 
+// ensureTail guarantees every plane has room for one more slot after the
+// current live region of n slots: extend in place when capacity allows,
+// else compact the live region to the front (no allocation), else grow.
+// The planes share one growth history, so a single policy decision (taken
+// from the first plane) applies to all of them.
+func (inc *Incremental) ensureTail(n int) {
+	tones := inc.tones
+	if tones <= 0 || inc.numAnt == 0 || inc.numTx == 0 {
+		return
+	}
+	need := (inc.head + n + 1) * tones
+	c := cap(inc.rePlane[0][0])
+	if c >= need {
+		return
+	}
+	if inc.head > 0 && (n+1)*tones <= c {
+		// Compact: move the live region to the front of each plane.
+		liveLo, liveHi := inc.head*tones, (inc.head+n)*tones
+		for a := 0; a < inc.numAnt; a++ {
+			for tx := 0; tx < inc.numTx; tx++ {
+				p := inc.rePlane[a][tx]
+				copy(p[:n*tones], p[liveLo:liveHi])
+				inc.rePlane[a][tx] = p[:n*tones]
+				p = inc.imPlane[a][tx]
+				copy(p[:n*tones], p[liveLo:liveHi])
+				inc.imPlane[a][tx] = p[:n*tones]
+			}
+		}
+		inc.head = 0
+		return
+	}
+	// Grow: ~2× the live window, so steady sliding settles into the
+	// extend/compact cycle and never grows again.
+	newCap := 2 * (n + 1) * tones
+	liveLo, liveHi := inc.head*tones, (inc.head+n)*tones
+	for a := 0; a < inc.numAnt; a++ {
+		for tx := 0; tx < inc.numTx; tx++ {
+			np := make([]float64, n*tones, newCap)
+			copy(np, inc.rePlane[a][tx][liveLo:liveHi])
+			inc.rePlane[a][tx] = np
+			np = make([]float64, n*tones, newCap)
+			copy(np, inc.imPlane[a][tx][liveLo:liveHi])
+			inc.imPlane[a][tx] = np
+		}
+	}
+	inc.head = 0
+}
+
 // Append ingests one snapshot (shape [ant][tx][tone]); the rows are copied
-// and normalized exactly as Engine's constructor does, so later matrix
-// queries match a batch engine built over the same window.
+// into the SoA ring and normalized with exactly Engine's constructor
+// arithmetic, so later matrix queries match a batch engine built over the
+// same window. The tone count is learned from the first snapshot; every
+// later snapshot must match it (the SoA planes are uniform slabs).
 func (inc *Incremental) Append(snapshot [][][]complex128) error {
 	if len(snapshot) != inc.numAnt {
 		return fmt.Errorf("trrs: incremental snapshot has %d antennas, want %d", len(snapshot), inc.numAnt)
@@ -140,21 +232,42 @@ func (inc *Incremental) Append(snapshot [][][]complex128) error {
 				a, len(snapshot[a]), inc.numTx)
 		}
 	}
+	if inc.tones < 0 {
+		inc.tones = len(snapshot[0][0])
+	}
 	for a := range snapshot {
 		for tx := 0; tx < inc.numTx; tx++ {
-			v := make([]complex128, len(snapshot[a][tx]))
-			copy(v, snapshot[a][tx])
-			sigproc.Normalize(v)
-			inc.norm[a][tx] = append(inc.norm[a][tx], v)
+			if len(snapshot[a][tx]) != inc.tones {
+				return fmt.Errorf("trrs: incremental snapshot antenna %d tx %d has %d tones, want uniform %d",
+					a, tx, len(snapshot[a][tx]), inc.tones)
+			}
+		}
+	}
+	n := inc.NumSlots()
+	inc.ensureTail(n)
+	o := (inc.head + n) * inc.tones
+	for a := range snapshot {
+		for tx := 0; tx < inc.numTx; tx++ {
+			reP := inc.rePlane[a][tx][:o+inc.tones]
+			imP := inc.imPlane[a][tx][:o+inc.tones]
+			dstRe, dstIm := reP[o:], imP[o:]
+			for k, c := range snapshot[a][tx] {
+				dstRe[k] = real(c)
+				dstIm[k] = imag(c)
+			}
+			sigproc.NormalizeSoA(dstRe, dstIm)
+			inc.rePlane[a][tx] = reP
+			inc.imPlane[a][tx] = imP
 		}
 	}
 	inc.end++
 	return nil
 }
 
-// DropFront advances the window head by n slots (ring-buffer trim). The
-// leading W rows of every maintained matrix become stale and are refreshed
-// on the next ExtendMatrix call.
+// DropFront advances the window head by n slots (ring-buffer trim; the
+// slots' storage is reclaimed by a later Append's compaction). The leading
+// W rows of every maintained matrix become stale and are refreshed on the
+// next ExtendMatrix call.
 func (inc *Incremental) DropFront(n int) {
 	if n <= 0 {
 		return
@@ -162,20 +275,46 @@ func (inc *Incremental) DropFront(n int) {
 	if n > inc.NumSlots() {
 		n = inc.NumSlots()
 	}
-	for a := range inc.norm {
-		for tx := range inc.norm[a] {
-			inc.norm[a][tx] = inc.norm[a][tx][n:]
+	inc.head += n
+	inc.start += n
+}
+
+// viewInto points e at the current window: plane slices covering slots
+// [head, head+n), plus the incremental engine's rate/shape/tuning.
+func (inc *Incremental) viewInto(e *Engine, ants []int) error {
+	tones := inc.tones
+	if tones < 0 {
+		tones = 0
+	}
+	e.rate = inc.rate
+	e.numAnts = len(ants)
+	e.numTx = inc.numTx
+	e.slots = inc.NumSlots()
+	e.tones = tones
+	e.kernel = inc.kernel
+	e.par = inc.par
+	e.rowsFilled = inc.rowsFilled
+	e.poolGauge = inc.poolGauge
+	lo, hi := inc.head*tones, (inc.head+e.slots)*tones
+	for k, a := range ants {
+		if a < 0 || a >= inc.numAnt {
+			return fmt.Errorf("trrs: EngineView antenna %d out of range [0,%d)", a, inc.numAnt)
+		}
+		for tx := 0; tx < inc.numTx; tx++ {
+			e.re[k][tx] = inc.rePlane[a][tx][lo:hi]
+			e.im[k][tx] = inc.imPlane[a][tx][lo:hi]
 		}
 	}
-	inc.start += n
+	return nil
 }
 
 // EngineView returns a batch Engine aliasing the window's normalized
 // snapshots, restricted to the given antennas (nil means all, in order).
 // The view shares storage with the incremental engine and is invalidated
-// by the next Append/DropFront; it exists so window-scoped consumers
-// (movement detection, self-TRRS) run on the incrementally maintained
-// normalization instead of renormalizing the window every hop.
+// by the next Append/DropFront (an Append may compact the ring under it);
+// it exists so window-scoped consumers (movement detection, self-TRRS)
+// run on the incrementally maintained normalization instead of
+// renormalizing the window every hop.
 func (inc *Incremental) EngineView(ants []int) (*Engine, error) {
 	if ants == nil {
 		ants = make([]int, inc.numAnt)
@@ -184,55 +323,84 @@ func (inc *Incremental) EngineView(ants []int) (*Engine, error) {
 		}
 	}
 	e := &Engine{
-		rate:       inc.rate,
-		numAnts:    len(ants),
-		numTx:      inc.numTx,
-		slots:      inc.NumSlots(),
-		norm:       make([][][][]complex128, len(ants)),
-		par:        inc.par,
-		rowsFilled: inc.rowsFilled,
-		poolGauge:  inc.poolGauge,
+		re: make([][][]float64, len(ants)),
+		im: make([][][]float64, len(ants)),
 	}
-	for k, a := range ants {
-		if a < 0 || a >= inc.numAnt {
-			return nil, fmt.Errorf("trrs: EngineView antenna %d out of range [0,%d)", a, inc.numAnt)
-		}
-		e.norm[k] = inc.norm[a]
+	for k := range e.re {
+		e.re[k] = make([][]float64, inc.numTx)
+		e.im[k] = make([][]float64, inc.numTx)
+	}
+	if err := inc.viewInto(e, ants); err != nil {
+		return nil, err
 	}
 	return e, nil
+}
+
+// fullView refreshes (lazily building) the cached all-antenna view used
+// by ExtendMatrix, so the steady-state hop allocates nothing.
+func (inc *Incremental) fullView() *Engine {
+	if inc.view == nil {
+		inc.view = &Engine{
+			re: make([][][]float64, inc.numAnt),
+			im: make([][][]float64, inc.numAnt),
+		}
+		for a := 0; a < inc.numAnt; a++ {
+			inc.view.re[a] = make([][]float64, inc.numTx)
+			inc.view.im[a] = make([][]float64, inc.numTx)
+		}
+		inc.viewAnts = make([]int, inc.numAnt)
+		for a := range inc.viewAnts {
+			inc.viewAnts[a] = a
+		}
+	}
+	// The identity view can't fail: every antenna index is in range.
+	if err := inc.viewInto(inc.view, inc.viewAnts); err != nil {
+		panic(err)
+	}
+	return inc.view
 }
 
 // ExtendMatrix returns the base TRRS matrix of antenna pair (i, j) over
 // the current window, extending the maintained matrix with only the rows
 // invalidated since the last call (see the type comment for the scheme).
-// Antenna indices are absolute. Rows of the returned matrix are immutable;
-// callers must not modify them.
+// Antenna indices are absolute. Rows of the returned matrix are owned by
+// the engine: callers must not modify them, and the matrix is overwritten
+// two refreshes later (see the type comment on storage reuse).
 func (inc *Incremental) ExtendMatrix(i, j int) (*Matrix, error) {
 	if i < 0 || i >= inc.numAnt || j < 0 || j >= inc.numAnt {
 		return nil, fmt.Errorf("trrs: ExtendMatrix pair (%d,%d) out of range [0,%d)", i, j, inc.numAnt)
 	}
-	e, err := inc.EngineView(nil)
-	if err != nil {
-		return nil, err
-	}
 	key := PairSpec{I: i, J: j}
 	im, ok := inc.mats[key]
 	if !ok {
-		m := e.BaseMatrices([]PairSpec{key}, inc.w)[0]
-		inc.mats[key] = &incMat{m: m, start: inc.start, end: inc.end}
-		return m, nil
+		im = &incMat{}
+		inc.mats[key] = im
 	}
-	if im.start == inc.start && im.end == inc.end {
+	if im.m != nil && im.start == inc.start && im.end == inc.end {
 		return im.m, nil
 	}
+	e := inc.fullView()
 
 	tSlots := inc.NumSlots()
 	width := 2*inc.w + 1
-	vals := make([][]float64, tSlots)
-	var stale []int
+	nxt := 1 - im.cur
+	flat := im.flats[nxt]
+	if cap(flat) < tSlots*width {
+		flat = make([]float64, tSlots*width)
+	}
+	flat = flat[:tSlots*width]
+	rows := im.rows[nxt]
+	if cap(rows) < tSlots {
+		rows = make([][]float64, tSlots)
+	}
+	rows = rows[:tSlots]
+
+	stale := inc.staleScratch[:0]
 	for t := 0; t < tSlots; t++ {
+		row := flat[t*width : (t+1)*width]
+		rows[t] = row
 		r := inc.start + t // absolute slot of this row
-		valid := r < im.end
+		valid := im.m != nil && r < im.end
 		// A head advance zeroes backward references of the leading W rows.
 		if valid && inc.start > im.start && r < inc.start+inc.w {
 			valid = false
@@ -243,16 +411,21 @@ func (inc *Incremental) ExtendMatrix(i, j int) (*Matrix, error) {
 			valid = false
 		}
 		if valid {
-			vals[t] = im.m.Vals[r-im.start]
+			copy(row, im.m.Vals[r-im.start])
 		} else {
-			vals[t] = make([]float64, width)
 			stale = append(stale, t)
 		}
 	}
-	m := &Matrix{I: i, J: j, W: inc.w, Rate: inc.rate, Vals: vals}
+	inc.staleScratch = stale
+
+	m := &im.hdr[nxt]
+	*m = Matrix{I: i, J: j, W: inc.w, Rate: inc.rate, Vals: rows}
 	inc.rowsReused.Add(uint64(tSlots - len(stale)))
 	inc.rowsStale.Add(uint64(len(stale)))
 	e.fillRowsSharded(m, stale)
+	im.flats[nxt] = flat
+	im.rows[nxt] = rows
+	im.cur = nxt
 	im.m, im.start, im.end = m, inc.start, inc.end
 	return m, nil
 }

@@ -13,84 +13,189 @@ type PairSpec struct {
 // shard is one unit of worker-pool work: a block of consecutive rows of
 // one pair's base matrix.
 type shard struct {
-	pair   int // index into the pairs/out slices
+	pair   int // index into the compute/out slices
 	t0, t1 int // row range [t0, t1)
 }
 
+// Hermitian symmetry of the TRRS (Eq. 2/3): κ̄(Hᵢ(t), Hⱼ(t′)) =
+// κ̄(Hⱼ(t′), Hᵢ(t)), because swapping the arguments conjugates the inner
+// product and |·|² discards the sign of the imaginary part. In base-matrix
+// coordinates that is the reflection
+//
+//	base_{j,i}[t][l] = base_{i,j}[t−l][−l]
+//
+// and it holds bit-for-bit, not just mathematically: the swapped kernel
+// accumulates the same real products in the same order (a·b = b·a exactly)
+// and an imaginary part of exactly opposite sign (IEEE-754 subtraction
+// satisfies −(x−y) = (y−x) bitwise), whose square is identical. So
+// BaseMatrices computes one matrix per unordered pair and derives the
+// reversed twin by reflection, and computes self-pairs (i, i) over the
+// non-negative lag half-band only — with results identical to computing
+// every entry from scratch (pinned by the symmetry property suite).
+
+// pairPlan is the symmetry-deduplication plan for one requested pair:
+// exactly one of compute / aliasOf / reflectOf applies.
+type pairPlan struct {
+	aliasOf   int // index of an identical earlier pair (-1 = none)
+	reflectOf int // index of the reversed earlier pair (-1 = none)
+}
+
+// planPairs assigns each requested pair to compute, alias or reflect.
+func planPairs(pairs []PairSpec) (plans []pairPlan, compute []int) {
+	plans = make([]pairPlan, len(pairs))
+	first := make(map[PairSpec]int, len(pairs))
+	for k, p := range pairs {
+		plans[k] = pairPlan{aliasOf: -1, reflectOf: -1}
+		if m, ok := first[p]; ok {
+			plans[k].aliasOf = m
+			continue
+		}
+		if m, ok := first[PairSpec{I: p.J, J: p.I}]; ok {
+			plans[k].reflectOf = m
+			continue
+		}
+		first[p] = k
+		compute = append(compute, k)
+	}
+	return plans, compute
+}
+
+// reflectInto derives columns [cFrom, cTo) of dst from src by the κ̄
+// reflection base_dst[t][l] = base_src[t−l][−l] (column 2w−c holds lag −l).
+// Rows whose source slot t−l falls outside the series get the same zero
+// fillRow would have written. Self-pair half-band completion passes
+// dst == src with cTo = w: the sweep then only reads columns > w, which
+// phase 1 computed, and only writes columns < w.
+func reflectInto(dst, src [][]float64, w, cFrom, cTo int) {
+	slots := len(dst)
+	for t := 0; t < slots; t++ {
+		row := dst[t]
+		for c := cFrom; c < cTo; c++ {
+			srcT := t - (c - w) // t − l
+			if srcT >= 0 && srcT < slots {
+				row[c] = src[srcT][2*w-c]
+			} else {
+				row[c] = 0
+			}
+		}
+	}
+}
+
+// newFlatMatrix allocates a slots×(2w+1) matrix with flat backing.
+func (e *Engine) newFlatMatrix(i, j, w int) *Matrix {
+	m := &Matrix{I: i, J: j, W: w, Rate: e.rate}
+	m.Vals = make([][]float64, e.slots)
+	width := 2*w + 1
+	flat := make([]float64, e.slots*width)
+	for t := 0; t < e.slots; t++ {
+		m.Vals[t] = flat[t*width : (t+1)*width]
+	}
+	return m
+}
+
 // BaseMatrices computes the base TRRS matrices of several antenna pairs in
-// one worker pool, sharded by pair × time block. Each matrix entry is an
-// independent pure function of the normalized snapshots and every shard
-// writes a disjoint row range of a preallocated buffer, so the output is
-// deterministic and bit-for-bit identical to BaseMatrixSerial regardless
-// of worker count or scheduling. With one worker (Parallelism = 1, or a
-// single-CPU GOMAXPROCS) it degenerates to the serial loop.
+// one worker pool, sharded by pair × time block. Symmetry deduplication
+// runs first: of a reversed pair {(i,j), (j,i)} only the first is computed
+// and the twin is derived by the κ̄ reflection above; exact duplicates
+// share one matrix; a self-pair (i,i) computes only its non-negative lags
+// and reflects the rest. Each computed entry is an independent pure
+// function of the normalized snapshots and every shard writes a disjoint
+// row range of a preallocated buffer, so the output is deterministic and
+// bit-for-bit identical to BaseMatrixSerial regardless of worker count,
+// scheduling, or which of the symmetry paths produced it. With one worker
+// (Parallelism = 1, or a single-CPU GOMAXPROCS) the fill degenerates to
+// the serial loop.
 func (e *Engine) BaseMatrices(pairs []PairSpec, w int) []*Matrix {
 	out := make([]*Matrix, len(pairs))
 	if len(pairs) == 0 {
 		return out
 	}
-	e.rowsFilled.Add(uint64(len(pairs) * e.slots))
+	plans, compute := planPairs(pairs)
+	for _, k := range compute {
+		out[k] = e.newFlatMatrix(pairs[k].I, pairs[k].J, w)
+	}
+	e.rowsFilled.Add(uint64(len(compute) * e.slots))
+
+	// Phase 1: fill the computed matrices (self-pairs: half band only).
+	fill := func(k, t int) {
+		p, m := pairs[k], out[k]
+		if p.I == p.J {
+			e.fillRowFrom(m.Vals[t], p.I, p.J, w, t, w)
+		} else {
+			e.fillRow(m.Vals[t], p.I, p.J, w, t)
+		}
+	}
 	workers := e.workers()
 	if workers == 1 || e.slots == 0 {
 		e.poolGauge.Set(1)
-		for k, p := range pairs {
-			out[k] = e.BaseMatrixSerial(p.I, p.J, w)
+		for _, k := range compute {
+			for t := 0; t < e.slots; t++ {
+				fill(k, t)
+			}
 		}
-		return out
+	} else {
+		// Block size balances scheduling overhead against load balance:
+		// small enough that every worker gets several blocks, never below
+		// 16 rows.
+		block := e.slots / (workers * 4)
+		if block < 16 {
+			block = 16
+		}
+		var shards []shard
+		for _, k := range compute {
+			for t0 := 0; t0 < e.slots; t0 += block {
+				t1 := t0 + block
+				if t1 > e.slots {
+					t1 = e.slots
+				}
+				shards = append(shards, shard{pair: k, t0: t0, t1: t1})
+			}
+		}
+		if workers > len(shards) {
+			workers = len(shards)
+		}
+		e.poolGauge.Set(float64(workers))
+
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for g := 0; g < workers; g++ {
+			go func() {
+				defer wg.Done()
+				for {
+					n := int(next.Add(1)) - 1
+					if n >= len(shards) {
+						return
+					}
+					sh := shards[n]
+					for t := sh.t0; t < sh.t1; t++ {
+						fill(sh.pair, t)
+					}
+				}
+			}()
+		}
+		wg.Wait()
 	}
 
-	width := 2*w + 1
-	for k, p := range pairs {
-		m := &Matrix{I: p.I, J: p.J, W: w, Rate: e.rate}
-		m.Vals = make([][]float64, e.slots)
-		flat := make([]float64, e.slots*width)
-		for t := 0; t < e.slots; t++ {
-			m.Vals[t] = flat[t*width : (t+1)*width]
+	// Phase 2 (after the barrier — reflections read computed rows at other
+	// time indices): complete self-pair negative lags, derive reversed
+	// twins, alias exact duplicates.
+	for _, k := range compute {
+		if pairs[k].I == pairs[k].J {
+			reflectInto(out[k].Vals, out[k].Vals, w, 0, w)
 		}
-		out[k] = m
 	}
-
-	// Block size balances scheduling overhead against load balance: small
-	// enough that every worker gets several blocks, never below 16 rows.
-	block := e.slots / (workers * 4)
-	if block < 16 {
-		block = 16
-	}
-	var shards []shard
 	for k := range pairs {
-		for t0 := 0; t0 < e.slots; t0 += block {
-			t1 := t0 + block
-			if t1 > e.slots {
-				t1 = e.slots
-			}
-			shards = append(shards, shard{pair: k, t0: t0, t1: t1})
+		switch {
+		case plans[k].aliasOf >= 0:
+			out[k] = out[plans[k].aliasOf]
+		case plans[k].reflectOf >= 0:
+			src := out[plans[k].reflectOf]
+			m := e.newFlatMatrix(pairs[k].I, pairs[k].J, w)
+			reflectInto(m.Vals, src.Vals, w, 0, 2*w+1)
+			out[k] = m
 		}
 	}
-	if workers > len(shards) {
-		workers = len(shards)
-	}
-	e.poolGauge.Set(float64(workers))
-
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for g := 0; g < workers; g++ {
-		go func() {
-			defer wg.Done()
-			for {
-				n := int(next.Add(1)) - 1
-				if n >= len(shards) {
-					return
-				}
-				sh := shards[n]
-				p, m := pairs[sh.pair], out[sh.pair]
-				for t := sh.t0; t < sh.t1; t++ {
-					e.fillRow(m.Vals[t], p.I, p.J, w, t)
-				}
-			}
-		}()
-	}
-	wg.Wait()
 	return out
 }
 

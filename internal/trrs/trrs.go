@@ -10,6 +10,15 @@
 // matrix base[t][l] = κ̄(H_i(t), H_j(t−l)). The engine therefore computes
 // each pair's base matrix once — O(T·(2W+1)·N·S) — and derives any V by an
 // O(T·(2W+1)) box filter, instead of the naive O(T·(2W+1)·V·N·S).
+//
+// The normalized snapshots are stored structure-of-arrays: one contiguous
+// re plane and one im plane per (antenna, tx), with slot t occupying
+// [t·tones, (t+1)·tones). A base-matrix row's lag sweep walks consecutive
+// slots of one plane, so the kernel streams memory sequentially instead of
+// chasing per-slot []complex128 pointers. The default kernel keeps the
+// seed's summation order exactly (see sigproc.DotSqSoA), so every result
+// is bit-for-bit identical to the original []complex128 arithmetic; see
+// DESIGN.md, "TRRS kernel".
 package trrs
 
 import (
@@ -22,6 +31,34 @@ import (
 	"rim/internal/sigproc"
 )
 
+// Kernel selects the inner-product kernel used for TRRS evaluation.
+type Kernel uint8
+
+const (
+	// KernelSequential (the default) accumulates in the seed's element
+	// order: results are bit-for-bit identical to the reference
+	// implementation and therefore to every committed golden suite.
+	KernelSequential Kernel = iota
+	// KernelUnrolled4 splits the accumulation over four partial sums to
+	// overlap FPU latency (sigproc.DotSqSoA4). Its fixed reduction order
+	// differs from the sequential kernel, so results agree only to
+	// rounding — the equivalence suite bounds the difference at 1e-12
+	// relative. Opt-in via Config.Kernel or SetKernel.
+	KernelUnrolled4
+)
+
+// String implements fmt.Stringer.
+func (k Kernel) String() string {
+	switch k {
+	case KernelSequential:
+		return "sequential"
+	case KernelUnrolled4:
+		return "unrolled4"
+	default:
+		return fmt.Sprintf("kernel(%d)", uint8(k))
+	}
+}
+
 // Engine holds unit-normalized CSI vectors so that the TRRS of Eq. 2
 // reduces to the squared magnitude of an inner product.
 type Engine struct {
@@ -29,8 +66,14 @@ type Engine struct {
 	numAnts int
 	numTx   int
 	slots   int
-	// norm[ant][tx][slot] is the unit-norm CSI vector.
-	norm [][][][]complex128
+	// tones is the per-snapshot vector length; every slot must share it
+	// (the SoA planes are uniform slabs).
+	tones int
+	// re[ant][tx] / im[ant][tx] are the SoA planes of unit-norm CSI:
+	// slot t occupies [t*tones, (t+1)*tones).
+	re, im [][][]float64
+	// kernel selects the inner-product kernel (see Kernel).
+	kernel Kernel
 	// par is the worker count for matrix computation: 0 means GOMAXPROCS,
 	// 1 means the serial reference path (see SetParallelism).
 	par int
@@ -56,6 +99,15 @@ func (e *Engine) SetParallelism(n int) {
 // Parallelism returns the configured worker count (0 = GOMAXPROCS).
 func (e *Engine) Parallelism() int { return e.par }
 
+// SetKernel selects the inner-product kernel. The default
+// KernelSequential is bit-for-bit identical to the reference arithmetic;
+// KernelUnrolled4 trades that for pipelined accumulation (1e-12-relative
+// agreement).
+func (e *Engine) SetKernel(k Kernel) { e.kernel = k }
+
+// Kernel returns the selected inner-product kernel.
+func (e *Engine) Kernel() Kernel { return e.kernel }
+
 // SetObs points the engine's utilization counters at a registry: the
 // number of base-matrix rows computed from scratch
 // (rim_trrs_rows_filled_total) and the worker-pool size of the most recent
@@ -79,24 +131,56 @@ func (e *Engine) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// NewEngine precomputes normalized snapshots from a processed CSI series.
-func NewEngine(s *csi.Series) *Engine {
+// newEngineShell allocates the SoA planes for the series' shape. tones is
+// taken from the first snapshot; the fill loops enforce uniformity.
+func newEngineShell(s *csi.Series) *Engine {
 	e := &Engine{
 		rate:    s.Rate,
 		numAnts: s.NumAnts,
 		numTx:   s.NumTx,
 		slots:   s.NumSlots(),
-		norm:    make([][][][]complex128, s.NumAnts),
+		re:      make([][][]float64, s.NumAnts),
+		im:      make([][][]float64, s.NumAnts),
 	}
-	for a := 0; a < s.NumAnts; a++ {
-		e.norm[a] = make([][][]complex128, s.NumTx)
-		for tx := 0; tx < s.NumTx; tx++ {
-			e.norm[a][tx] = make([][]complex128, e.slots)
+	if e.slots > 0 && e.numAnts > 0 && e.numTx > 0 {
+		e.tones = len(s.H[0][0][0])
+	}
+	for a := 0; a < e.numAnts; a++ {
+		e.re[a] = make([][]float64, e.numTx)
+		e.im[a] = make([][]float64, e.numTx)
+		for tx := 0; tx < e.numTx; tx++ {
+			e.re[a][tx] = make([]float64, e.slots*e.tones)
+			e.im[a][tx] = make([]float64, e.slots*e.tones)
+		}
+	}
+	return e
+}
+
+// checkTones enforces the uniform-shape requirement of the SoA layout.
+func (e *Engine) checkTones(a, tx, t, got int) {
+	if got != e.tones {
+		panic(fmt.Sprintf("trrs: snapshot (ant %d, tx %d, slot %d) has %d tones, want uniform %d",
+			a, tx, t, got, e.tones))
+	}
+}
+
+// NewEngine precomputes normalized snapshots from a processed CSI series.
+// All snapshots must share one tone count (ragged series panic: the TRRS
+// of differently-shaped snapshots was already a panic in the kernel).
+func NewEngine(s *csi.Series) *Engine {
+	e := newEngineShell(s)
+	for a := 0; a < e.numAnts; a++ {
+		for tx := 0; tx < e.numTx; tx++ {
+			reP, imP := e.re[a][tx], e.im[a][tx]
 			for t := 0; t < e.slots; t++ {
-				v := make([]complex128, len(s.H[a][tx][t]))
-				copy(v, s.H[a][tx][t])
-				sigproc.Normalize(v)
-				e.norm[a][tx][t] = v
+				src := s.H[a][tx][t]
+				e.checkTones(a, tx, t, len(src))
+				o := t * e.tones
+				for k, c := range src {
+					reP[o+k] = real(c)
+					imP[o+k] = imag(c)
+				}
+				sigproc.NormalizeSoA(reP[o:o+e.tones], imP[o:o+e.tones])
 			}
 		}
 	}
@@ -108,26 +192,20 @@ func NewEngine(s *csi.Series) *Engine {
 // ablation baseline for the TRRS choice — amplitude-only profiles lose the
 // time-reversal focusing effect, so their spatial resolution is far worse.
 func NewAmplitudeEngine(s *csi.Series) *Engine {
-	e := &Engine{
-		rate:    s.Rate,
-		numAnts: s.NumAnts,
-		numTx:   s.NumTx,
-		slots:   s.NumSlots(),
-		norm:    make([][][][]complex128, s.NumAnts),
-	}
-	for a := 0; a < s.NumAnts; a++ {
-		e.norm[a] = make([][][]complex128, s.NumTx)
-		for tx := 0; tx < s.NumTx; tx++ {
-			e.norm[a][tx] = make([][]complex128, e.slots)
+	e := newEngineShell(s)
+	for a := 0; a < e.numAnts; a++ {
+		for tx := 0; tx < e.numTx; tx++ {
+			reP, imP := e.re[a][tx], e.im[a][tx]
 			for t := 0; t < e.slots; t++ {
 				src := s.H[a][tx][t]
-				v := make([]complex128, len(src))
+				e.checkTones(a, tx, t, len(src))
+				o := t * e.tones
 				for k, c := range src {
 					re, im := real(c), imag(c)
-					v[k] = complex(math.Sqrt(re*re+im*im), 0)
+					reP[o+k] = math.Sqrt(re*re + im*im)
+					imP[o+k] = 0
 				}
-				sigproc.Normalize(v)
-				e.norm[a][tx][t] = v
+				sigproc.NormalizeSoA(reP[o:o+e.tones], imP[o:o+e.tones])
 			}
 		}
 	}
@@ -149,11 +227,30 @@ func (e *Engine) Base(i, j, ti, tj int) float64 {
 	if ti < 0 || tj < 0 || ti >= e.slots || tj >= e.slots {
 		return 0
 	}
+	return e.base(i, j, ti, tj)
+}
+
+// base is Base without the slot-range check — the hot path. fillRow hoists
+// the range test out of its lag sweep and calls this directly, so each
+// matrix entry costs exactly one kernel call (the seed re-validated both
+// slot indices on every entry).
+func (e *Engine) base(i, j, ti, tj int) float64 {
+	oi, oj := ti*e.tones, tj*e.tones
+	ri, ii := e.re[i], e.im[i]
+	rj, ij := e.re[j], e.im[j]
 	var sum float64
-	for tx := 0; tx < e.numTx; tx++ {
-		ip := sigproc.InnerProduct(e.norm[i][tx][ti], e.norm[j][tx][tj])
-		re, im := real(ip), imag(ip)
-		sum += re*re + im*im
+	if e.kernel == KernelUnrolled4 {
+		for tx := 0; tx < e.numTx; tx++ {
+			sum += sigproc.DotSqSoA4(
+				ri[tx][oi:oi+e.tones], ii[tx][oi:oi+e.tones],
+				rj[tx][oj:oj+e.tones], ij[tx][oj:oj+e.tones])
+		}
+	} else {
+		for tx := 0; tx < e.numTx; tx++ {
+			sum += sigproc.DotSqSoA(
+				ri[tx][oi:oi+e.tones], ii[tx][oi:oi+e.tones],
+				rj[tx][oj:oj+e.tones], ij[tx][oj:oj+e.tones])
+		}
 	}
 	return sum / float64(e.numTx)
 }
@@ -192,21 +289,40 @@ func (m *Matrix) At(t, lag int) float64 {
 // 2w+1): row[c] = κ̄(H_i(t), H_j(t−(c−w))), 0 outside the series. It
 // overwrites every entry, so rows may be reused.
 func (e *Engine) fillRow(row []float64, i, j, w, t int) {
-	for c := range row {
-		tj := t - (c - w)
-		if tj >= 0 && tj < e.slots {
-			row[c] = e.Base(i, j, t, tj)
-		} else {
-			row[c] = 0
-		}
+	e.fillRowFrom(row, i, j, w, t, 0)
+}
+
+// fillRowFrom computes columns c ∈ [cFrom, len(row)) of fillRow's sweep
+// (cFrom = 0 is the full row). The in-range column band is hoisted out of
+// the loop — tj = t−(c−w) lies in [0, slots) iff c ∈ [cLo, cHi) — so the
+// sweep calls the unchecked kernel and the out-of-range fringes are plain
+// zero fills. cFrom = w restricts the sweep to the non-negative lags, the
+// self-pair half-band computation (see BaseMatrices).
+func (e *Engine) fillRowFrom(row []float64, i, j, w, t, cFrom int) {
+	cLo := t + w - e.slots + 1 // first c with t−(c−w) < slots
+	if cLo < cFrom {
+		cLo = cFrom
+	}
+	cHi := t + w + 1 // first c with t−(c−w) < 0
+	if cHi > len(row) {
+		cHi = len(row)
+	}
+	for c := cFrom; c < cLo; c++ {
+		row[c] = 0
+	}
+	for c := cHi; c < len(row); c++ {
+		row[c] = 0
+	}
+	for c := cLo; c < cHi; c++ {
+		row[c] = e.base(i, j, t, t-(c-w))
 	}
 }
 
 // BaseMatrixSerial computes the single-snapshot TRRS matrix between
 // antennas i and j over lags [−W, W] — base[t][l+W] = κ̄(H_i(t), H_j(t−l))
-// — on one goroutine. This is the reference oracle the parallel and
-// incremental paths are tested against; select it pipeline-wide with
-// Parallelism = 1.
+// — on one goroutine, row by row, with no symmetry shortcuts. This is the
+// reference oracle the parallel, incremental and symmetry-deduplicated
+// paths are tested against; select it pipeline-wide with Parallelism = 1.
 func (e *Engine) BaseMatrixSerial(i, j, w int) *Matrix {
 	m := &Matrix{I: i, J: j, W: w, Rate: e.rate}
 	m.Vals = make([][]float64, e.slots)
