@@ -9,8 +9,12 @@
 //
 //	rimsim [-motion line|square|backforth|rotate] [-array linear3|hexagonal|lshape]
 //	       [-rate 100] [-speed 0.5] [-length 2] [-ap 0] [-seed 1] [-o trace.json]
-//	       [-debug-addr :6060] [-debug-linger 30s]
+//	       [-debug-addr :6060] [-debug-linger 30s] [-trace-out rimtrace.json]
 //	rimsim -load trace.json
+//
+// -trace-out writes a Chrome trace-event JSON of the run's causal trace
+// (Perfetto / chrome://tracing). -debug-linger only matters together with
+// -debug-addr (there is no server to keep alive without one).
 package main
 
 import (
@@ -29,14 +33,17 @@ import (
 	"rim/internal/floorplan"
 	"rim/internal/geom"
 	"rim/internal/obs"
+	"rim/internal/obs/trace"
 	"rim/internal/rf"
 	"rim/internal/traj"
 )
 
-// debugState is the opt-in observability of the binary: nil registry (and
-// zero-value health) until -debug-addr is given.
+// debugState is the opt-in observability of the binary: nil registry and
+// recorder (and zero-value health) until -debug-addr or -trace-out is
+// given.
 type debugState struct {
 	reg *obs.Registry
+	rec *trace.Recorder
 
 	mu sync.Mutex
 	h  core.Health
@@ -65,26 +72,37 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	out := flag.String("o", "", "output file (default stdout)")
 	load := flag.String("load", "", "analyze a recorded trace instead of generating one")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :6060)")
-	debugLinger := flag.Duration("debug-linger", 0, "keep the debug server up this long after the run, for scraping")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/pprof and /debug/rimtrace on this address (e.g. :6060)")
+	debugLinger := flag.Duration("debug-linger", 0, "keep the debug server up this long after the run, for scraping (requires -debug-addr)")
+	traceOut := flag.String("trace-out", "", "write the run's causal trace as Chrome trace-event JSON (open in Perfetto or chrome://tracing)")
 	flag.Parse()
 
 	dbg := &debugState{}
-	if *debugAddr != "" {
+	if *debugAddr != "" || *traceOut != "" {
 		dbg.reg = obs.NewRegistry()
+		dbg.rec = trace.NewRecorder(0)
+	}
+	if *debugAddr != "" {
 		obs.SetLogger(obs.NewTextLogger(os.Stderr, slog.LevelInfo))
-		srv, addr, err := obs.StartDebugServer(*debugAddr, dbg.reg, dbg.snapshot)
+		srv, addr, err := obs.StartDebugServer(*debugAddr, dbg.reg, dbg.snapshot,
+			obs.Route{Pattern: "/debug/rimtrace", Handler: trace.Handler(dbg.rec)},
+		)
 		if err != nil {
 			fatal(err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "rimsim: debug server on http://%s (/metrics, /healthz, /debug/pprof)\n", addr)
+		fmt.Fprintf(os.Stderr, "rimsim: debug server on http://%s (/metrics, /healthz, /debug/pprof, /debug/rimtrace)\n", addr)
 		if *debugLinger > 0 {
 			defer func() {
 				fmt.Fprintf(os.Stderr, "rimsim: run finished, debug server lingering %s\n", *debugLinger)
 				time.Sleep(*debugLinger)
 			}()
 		}
+	} else if *debugLinger > 0 {
+		fmt.Fprintln(os.Stderr, "rimsim: warning: -debug-linger has no effect without -debug-addr; not lingering")
+	}
+	if *traceOut != "" {
+		defer writeTrace(*traceOut, dbg.rec)
 	}
 
 	if *load != "" {
@@ -126,6 +144,7 @@ func main() {
 
 	rcv := csi.RealisticReceiver(*seed)
 	rcv.Obs = dbg.reg
+	rcv.Trace = dbg.rec
 	series, err := csi.Collect(env, arr, tr, rcv).Process(true)
 	if err != nil {
 		fatal(err)
@@ -191,6 +210,7 @@ func analyze(path string, dbg *debugState) {
 		cfg.V = 16
 	}
 	cfg.Obs = dbg.reg
+	cfg.Trace = dbg.rec
 	res, err := core.ProcessSeries(series, cfg)
 	if err != nil {
 		fatal(err)
@@ -240,6 +260,26 @@ func orDefault(s, d string) string {
 		return d
 	}
 	return s
+}
+
+// writeTrace dumps the recorder as Chrome trace-event JSON (deferred so
+// both the generate and -load paths get it on the way out).
+func writeTrace(path string, rec *trace.Recorder) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rimsim:", err)
+		return
+	}
+	werr := trace.WriteJSON(f, rec)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fmt.Fprintln(os.Stderr, "rimsim: writing trace:", werr)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "rimsim: wrote %d trace events to %s — open in Perfetto (ui.perfetto.dev) or chrome://tracing\n",
+		rec.TotalEmitted(), path)
 }
 
 func fatal(err error) {

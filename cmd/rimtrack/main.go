@@ -7,6 +7,13 @@
 //
 //	rimtrack [-ap 0] [-seed 1] [-speed 0.5] [-fused] [-loss 0.3] [-dead-ant 2]
 //	         [-debug-addr :6060] [-debug-linger 30s]
+//	         [-trace-out trace.json] [-postmortem-out dir]
+//
+// -trace-out writes a Chrome trace-event JSON of the run's causal trace,
+// loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+// -postmortem-out names a directory flight-recorder bundles are written to
+// when the run degrades. -debug-linger only matters together with
+// -debug-addr (there is no server to keep alive without one).
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"rim/internal/geom"
 	"rim/internal/imu"
 	"rim/internal/obs"
+	"rim/internal/obs/trace"
 	"rim/internal/rf"
 	"rim/internal/traj"
 	"rim/internal/viz"
@@ -43,30 +51,49 @@ func main() {
 	lossFrac := flag.Float64("loss", 0, "inject Gilbert–Elliott bursty packet loss with this mean loss fraction")
 	deadAnt := flag.Int("dead-ant", -1, "antenna index with a dead RF chain from -dead-from seconds on (-1 = none)")
 	deadFrom := flag.Float64("dead-from", 2, "time at which -dead-ant fails, seconds")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :6060)")
-	debugLinger := flag.Duration("debug-linger", 0, "keep the debug server up this long after the run, for scraping")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/pprof, /debug/rimtrace and /debug/postmortem on this address (e.g. :6060)")
+	debugLinger := flag.Duration("debug-linger", 0, "keep the debug server up this long after the run, for scraping (requires -debug-addr)")
+	traceOut := flag.String("trace-out", "", "write the run's causal trace as Chrome trace-event JSON (open in Perfetto or chrome://tracing)")
+	pmOut := flag.String("postmortem-out", "", "directory flight-recorder postmortem bundles are written to on degradation")
 	flag.Parse()
 
-	// Observability is opt-in: without -debug-addr the registry stays nil
-	// and every instrumentation hook below is a no-op.
+	// Observability is opt-in: without -debug-addr, -trace-out or
+	// -postmortem-out the registry and recorder stay nil and every
+	// instrumentation hook below is a no-op.
 	var reg *obs.Registry
 	var health healthState
-	if *debugAddr != "" {
+	var rec *trace.Recorder
+	var flight *trace.Flight
+	if *debugAddr != "" || *traceOut != "" || *pmOut != "" {
 		reg = obs.NewRegistry()
+		rec = trace.NewRecorder(0)
+		flight = trace.NewFlight(trace.FlightConfig{
+			Recorder: rec,
+			Registry: reg,
+			Health:   health.snapshot,
+			Dir:      *pmOut,
+		})
+	}
+	if *debugAddr != "" {
 		obs.SetLogger(obs.NewTextLogger(os.Stderr, slog.LevelInfo))
-		srv, addr, err := obs.StartDebugServer(*debugAddr, reg, health.snapshot)
+		srv, addr, err := obs.StartDebugServer(*debugAddr, reg, health.snapshot,
+			obs.Route{Pattern: "/debug/rimtrace", Handler: trace.Handler(rec)},
+			obs.Route{Pattern: "/debug/postmortem", Handler: flight.Handler()},
+		)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rimtrack:", err)
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "rimtrack: debug server on http://%s (/metrics, /healthz, /debug/pprof)\n", addr)
+		fmt.Fprintf(os.Stderr, "rimtrack: debug server on http://%s (/metrics, /healthz, /debug/pprof, /debug/rimtrace, /debug/postmortem)\n", addr)
 		if *debugLinger > 0 {
 			defer func() {
 				fmt.Fprintf(os.Stderr, "rimtrack: run finished, debug server lingering %s\n", *debugLinger)
 				time.Sleep(*debugLinger)
 			}()
 		}
+	} else if *debugLinger > 0 {
+		fmt.Fprintln(os.Stderr, "rimtrack: warning: -debug-linger has no effect without -debug-addr; not lingering")
 	}
 
 	office := floorplan.NewOffice()
@@ -99,8 +126,9 @@ func main() {
 
 	rcv := csi.RealisticReceiver(*seed)
 	rcv.Obs = reg
+	rcv.Trace = rec
 	if *lossFrac > 0 || *deadAnt >= 0 {
-		fm := &faults.Model{Seed: *seed, Obs: reg}
+		fm := &faults.Model{Seed: *seed, Obs: reg, Trace: rec}
 		if *lossFrac > 0 {
 			fm.Loss = faults.NewGilbertElliott(*lossFrac, 20)
 		}
@@ -121,6 +149,8 @@ func main() {
 	cfg.WindowSeconds = 0.3
 	cfg.V = 16
 	cfg.Obs = reg
+	cfg.Trace = rec
+	cfg.Flight = flight
 	camCfg := camera.DefaultConfig(*seed)
 
 	var res *tracking.Result
@@ -138,9 +168,12 @@ func main() {
 		cfg.WindowSeconds = 0.3
 		cfg.V = 16
 		cfg.Obs = reg
+		cfg.Trace = rec
+		cfg.Flight = flight
 		readings := imu.Simulate(tr, imu.DefaultConfig(*seed))
 		pfCfg := fusion.DefaultConfig(*seed)
 		pfCfg.Obs = reg
+		pfCfg.Trace = rec
 		res, err = tracking.Fused(series, cfg, readings, tracking.FusedConfig{
 			UsePF: true,
 			PF:    pfCfg,
@@ -181,6 +214,28 @@ func main() {
 				fmt.Printf("  %d: unresolved movement\n", i+1)
 			}
 		}
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rimtrack:", err)
+			os.Exit(1)
+		}
+		werr := trace.WriteJSON(f, rec)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "rimtrack: writing trace:", werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "rimtrack: wrote %d trace events to %s — open in Perfetto (ui.perfetto.dev) or chrome://tracing\n",
+			rec.TotalEmitted(), *traceOut)
+	}
+	if flight.Captures() > 0 && *pmOut != "" {
+		fmt.Fprintf(os.Stderr, "rimtrack: flight recorder captured %d postmortem bundle(s) in %s\n",
+			flight.Captures(), *pmOut)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"rim/internal/csi"
 	"rim/internal/geom"
 	"rim/internal/obs"
+	"rim/internal/obs/trace"
 	"rim/internal/sigproc"
 	"rim/internal/trrs"
 )
@@ -84,6 +85,19 @@ type Config struct {
 	// the package-level obs.Logger(), which discards records until the
 	// embedding binary opts in via obs.SetLogger.
 	Logger *slog.Logger
+	// Trace is the causal event recorder the pipeline's stage spans,
+	// segment decisions and estimate emissions report into (see
+	// internal/obs/trace and DESIGN.md "Causal tracing"). nil — the
+	// default — disables tracing at one nil check per event site.
+	Trace *trace.Recorder
+	// Flight is the flight recorder offered degradation triggers (degraded
+	// estimates, analysis failures, dead antennas); it snapshots Trace's
+	// recent past into a postmortem bundle. nil disables the offers.
+	Flight *trace.Flight
+	// traceHop is the causal hop ID stamped on this pipeline's trace
+	// events: 0 for batch runs, ≥ 1 for the streaming front end's hops
+	// (core.Streamer threads it through before each re-analysis).
+	traceHop int64
 }
 
 // logger resolves the configured logger (never nil).
@@ -305,6 +319,8 @@ func NewPipeline(s *csi.Series, cfg Config) (*Pipeline, error) {
 	eng.SetParallelism(cfg.Parallelism)
 	eng.SetKernel(cfg.Kernel)
 	eng.SetObs(cfg.Obs)
+	eng.SetTrace(cfg.Trace)
+	eng.SetHop(cfg.traceHop)
 	return newPipelineFromEngine(eng, nil, missFracOf(s.Missing, s.NumAnts, s.NumSlots()), cfg)
 }
 
@@ -343,6 +359,8 @@ func newPipelineFromEngine(eng *trrs.Engine, baseFor func(i, j int) *trrs.Matrix
 	p.w = windowSlots(cfg.WindowSeconds, eng.Rate())
 	buildSpan := obs.StartSpan(p.po.buildH)
 	defer buildSpan.End()
+	buildTrace := cfg.Trace.Start(trace.KindBuild, cfg.traceHop, -1)
+	defer buildTrace.End()
 
 	// Base matrices are shared between translation groups and the
 	// rotation ring; collect the distinct pairs first so the bulk source
@@ -456,7 +474,17 @@ func (p *Pipeline) Process() *Result {
 	rate := p.eng.Rate()
 	slots := p.eng.NumSlots()
 	res := &Result{Rate: rate}
+	hop := p.cfg.traceHop
+	var hopTrace trace.Span
+	if hop == 0 {
+		// Batch runs have no Streamer emitting the hop span; the whole
+		// Process is the one "hop", covering every slot. The span is ended
+		// explicitly before any flight-recorder offer so a postmortem
+		// bundle always contains the hop span it needs for lineage.
+		hopTrace = p.cfg.Trace.Start(trace.KindHop, 0, -1)
+	}
 	movementSpan := obs.StartSpan(p.po.movementH)
+	movementTrace := p.cfg.Trace.Start(trace.KindMovement, hop, -1)
 	res.MovementIndicator = align.MovementIndicator(p.eng, p.cfg.Movement)
 	moving := align.ThresholdWithHysteresis(res.MovementIndicator, p.cfg.Movement)
 	p.moving = moving
@@ -472,6 +500,7 @@ func (p *Pipeline) Process() *Result {
 	fastCfg.SlowLagSeconds = 0
 	p.fastInd = align.MovementIndicator(p.eng, fastCfg)
 	movementSpan.End()
+	movementTrace.End()
 	res.Estimates = make([]Estimate, slots)
 	dt := 1 / rate
 	for t := range res.Estimates {
@@ -511,8 +540,11 @@ func (p *Pipeline) Process() *Result {
 	segs = splitAtInteriorIdles(segs, indSm, p.cfg.Movement.Threshold, int(0.4*rate), minLen)
 	for _, seg := range segs {
 		alignSpan := obs.StartSpan(p.po.alignH)
+		alignTrace := p.cfg.Trace.Start(trace.KindAlign, hop, int64(seg[0]))
 		sr := p.processSegment(seg[0], seg[1], res)
 		alignSpan.End()
+		alignTrace.End()
+		p.cfg.Trace.Emit(trace.KindSegment, hop, int64(sr.Start), int64(sr.End), int64(sr.Kind))
 		res.Segments = append(res.Segments, sr)
 		switch sr.Kind {
 		case MotionTranslate:
@@ -523,14 +555,28 @@ func (p *Pipeline) Process() *Result {
 	}
 	p.po.segments.Add(uint64(len(res.Segments)))
 	p.po.estimates.Add(uint64(len(res.Estimates)))
-	if p.po.degraded != nil {
+	if p.po.degraded != nil || (hop == 0 && (p.cfg.Trace != nil || p.cfg.Flight != nil)) {
 		var deg uint64
 		for i := range res.Estimates {
 			if res.Estimates[i].Degraded {
 				deg++
+				if hop == 0 {
+					// Batch slot IDs are absolute, so degraded emissions go
+					// straight into the lineage (streams emit estimate events
+					// from the Streamer, which knows the absolute slot).
+					p.cfg.Trace.Emit(trace.KindEstimate, 0, int64(i), 1, int64(res.Estimates[i].Kind))
+				}
 			}
 		}
 		p.po.degraded.Add(deg)
+		if hop == 0 {
+			hopTrace.EndArgs(0, int64(slots))
+			if deg > 0 {
+				p.cfg.Flight.Offer(trace.ReasonDegradedEstimates, 0, nil)
+			}
+		}
+	} else if hop == 0 {
+		hopTrace.EndArgs(0, int64(slots))
 	}
 	return res
 }

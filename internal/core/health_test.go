@@ -4,11 +4,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
 	"rim/internal/array"
+	"rim/internal/obs"
 )
 
 func TestHealthLastErrorDetached(t *testing.T) {
@@ -189,5 +193,110 @@ func TestHealthDuringFlushRace(t *testing.T) {
 	}
 	if !errors.Is(h.LastError, ErrAnalysis) {
 		t.Errorf("final LastError not classified ErrAnalysis: %v", h.LastError)
+	}
+}
+
+// TestHealthzHTTPDuringStreamRace extends the Health-during-Flush race to
+// the HTTP surface: obs.DebugMux's /healthz serializes the Streamer's
+// Health plus the registry snapshot while another goroutine pushes,
+// flushes, and mutates every counter the payload reads. Run under -race
+// this proves the whole scrape path — snapshot, JSON encoding, metric
+// iteration — shares no mutable state with the streamer.
+func TestHealthzHTTPDuringStreamRace(t *testing.T) {
+	arr := array.NewLinear3(spacing)
+	cfg := streamConfig(arr)
+	cfg.SpanSeconds = 1
+	cfg.HopSeconds = 0.1
+	reg := obs.NewRegistry()
+	cfg.Core.Obs = reg
+	st, err := NewStreamer(cfg, 100, 3, 3, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(obs.DebugMux(reg, func() any { return st.Health() }))
+	defer srv.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	mk := func() [][][]complex128 {
+		snap := make([][][]complex128, 3)
+		for a := range snap {
+			snap[a] = make([][]complex128, 3)
+			for tx := range snap[a] {
+				row := make([]complex128, 30)
+				for k := range row {
+					row[k] = complex(rng.NormFloat64(), rng.NormFloat64())
+				}
+				snap[a][tx] = row
+			}
+		}
+		return snap
+	}
+	mask := []bool{false, true, true} // keeps analysis failing, Health churning
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for ti := 0; ti < 300; ti++ {
+			if _, err := st.PushMasked(mk(), mask); err != nil && !errors.Is(err, ErrAnalysis) {
+				t.Errorf("push: %v", err)
+				return
+			}
+			if ti%89 == 0 {
+				st.Flush()
+			}
+		}
+		st.Flush()
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			resp, err := http.Get(srv.URL + "/healthz")
+			if err != nil {
+				t.Errorf("GET /healthz: %v", err)
+				return
+			}
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				t.Errorf("read /healthz: %v", rerr)
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("/healthz status %d: %s", resp.StatusCode, body)
+				return
+			}
+			var payload struct {
+				Health Health `json:"health"`
+			}
+			if err := json.Unmarshal(body, &payload); err != nil {
+				t.Errorf("/healthz not JSON: %v in %s", err, body)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// One last scrape after the writer stopped must see the final state.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Health Health `json:"health"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Health.Slots == 0 || payload.Health.TotalFailures == 0 {
+		t.Fatalf("final /healthz payload missing stream state: %+v", payload.Health)
 	}
 }

@@ -6,9 +6,11 @@ import (
 	"log/slog"
 	"math"
 	"sync"
+	"time"
 
 	"rim/internal/csi"
 	"rim/internal/obs"
+	"rim/internal/obs/trace"
 	"rim/internal/sigproc"
 	"rim/internal/trrs"
 )
@@ -164,6 +166,19 @@ type Streamer struct {
 	// when Core.Obs is nil).
 	log *slog.Logger
 	ob  streamObs
+
+	// Causal tracing state: trc/flight mirror Core.Trace/Core.Flight,
+	// hopSeq numbers the analysis hops (1-based; hop 0 is reserved for
+	// batch runs), and ingestNs records each buffered slot's ingest
+	// timestamp — trimmed in lockstep with buf — so the emit path can
+	// measure ingest-to-emit lag. t0 anchors the timestamps when no
+	// recorder supplies an epoch. lagOn gates the whole lag path.
+	trc      *trace.Recorder
+	flight   *trace.Flight
+	hopSeq   int64
+	ingestNs []int64
+	t0       time.Time
+	lagOn    bool
 }
 
 // streamObs bundles the streamer's metric handles, resolved once in
@@ -180,6 +195,8 @@ type streamObs struct {
 	dead     *obs.Gauge     // rim_stream_dead_antennas
 	ingestH  *obs.Histogram // rim_ingest_seconds
 	hopH     *obs.Histogram // rim_stream_hop_seconds
+	lagH     *obs.Histogram // rim_stream_lag_seconds
+	lagG     *obs.Gauge     // rim_stream_watermark_lag_seconds
 }
 
 func newStreamObs(reg *obs.Registry) streamObs {
@@ -197,6 +214,8 @@ func newStreamObs(reg *obs.Registry) streamObs {
 		dead:     reg.Gauge("rim_stream_dead_antennas", "antennas currently considered dead"),
 		ingestH:  reg.Timer("rim_ingest_seconds", "per-snapshot ingest (validate + commit) latency"),
 		hopH:     reg.Timer("rim_stream_hop_seconds", "sliding-window analysis latency per hop"),
+		lagH:     reg.Timer("rim_stream_lag_seconds", "ingest-to-emit latency of the newest slot finalized per hop"),
+		lagG:     reg.Gauge("rim_stream_watermark_lag_seconds", "end-to-end lag of the emit watermark behind ingest"),
 	}
 }
 
@@ -255,6 +274,10 @@ func NewStreamer(cfg StreamConfig, rate float64, numAnts, numTx, numSub int) (*S
 	}
 	st.log = cfg.Core.logger()
 	st.ob = newStreamObs(cfg.Core.Obs)
+	st.trc = cfg.Core.Trace
+	st.flight = cfg.Core.Flight
+	st.t0 = time.Now()
+	st.lagOn = st.trc != nil || st.ob.lagH != nil
 	if !cfg.Recompute {
 		inc, err := trrs.NewIncremental(rate, numAnts, numTx, st.wSlots)
 		if err != nil {
@@ -263,6 +286,7 @@ func NewStreamer(cfg StreamConfig, rate float64, numAnts, numTx, numSub int) (*S
 		inc.SetParallelism(cfg.Core.Parallelism)
 		inc.SetKernel(cfg.Core.Kernel)
 		inc.SetObs(cfg.Core.Obs)
+		inc.SetTrace(cfg.Core.Trace)
 		st.inc = inc
 		st.incSnap = make([][][]complex128, numAnts)
 		for a := range st.incSnap {
@@ -308,6 +332,13 @@ func (st *Streamer) Latency() float64 {
 func (st *Streamer) Health() Health {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	return st.healthLocked()
+}
+
+// healthLocked builds the Health snapshot with st.mu already held. The
+// flight-recorder offer sites inside analyze and updateDeadDetection call
+// this directly (calling Health there would self-deadlock).
+func (st *Streamer) healthLocked() Health {
 	h := Health{
 		Slots:               st.samples,
 		CorruptSlots:        st.corruptSlots,
@@ -388,11 +419,15 @@ func (st *Streamer) PushMasked(snapshot [][][]complex128, missing []bool) ([]Est
 
 	// Phase 2: commit.
 	ingestSpan := obs.StartSpan(st.ob.ingestH)
+	slot := int64(st.samples) // absolute slot ID of this snapshot
+	ingestTrace := st.trc.Start(trace.KindIngest, -1, slot)
 	st.samples++
 	st.ob.frames.Inc()
+	corruptFlag := int64(0)
 	if corrupt {
 		st.corruptSlots++
 		st.ob.corrupt.Inc()
+		corruptFlag = 1
 	}
 	incSnap := st.incSnap // reused scratch; inc.Append copies the rows
 	for a := 0; a < st.numAnts; a++ {
@@ -425,6 +460,12 @@ func (st *Streamer) PushMasked(snapshot [][][]complex128, missing []bool) ([]Est
 			st.ob.missing.Inc()
 		}
 	}
+	absentCnt := int64(0)
+	for _, m := range absent {
+		if m {
+			absentCnt++
+		}
+	}
 	if st.inc != nil {
 		// Mirror the exact committed rows (including substitutions) into
 		// the incremental engine, so its window always equals buf.
@@ -434,6 +475,11 @@ func (st *Streamer) PushMasked(snapshot [][][]complex128, missing []bool) ([]Est
 	}
 	st.updateDeadDetection(absent, snapshot)
 	ingestSpan.End()
+	ingestTrace.EndArgs(absentCnt, corruptFlag)
+	st.trc.Emit(trace.KindFrameIngest, -1, slot, absentCnt, corruptFlag)
+	if st.lagOn {
+		st.ingestNs = append(st.ingestNs, st.nowNs())
+	}
 
 	st.pending++
 	if st.pending < st.hop || st.bufLen() < st.guard*2 {
@@ -512,6 +558,7 @@ func (st *Streamer) updateDeadDetection(absent []bool, snapshot [][][]complex128
 				deadChanged = true
 				st.log.Warn("antenna declared dead",
 					"antenna", a, "miss_frac", missFrac, "starved", starved)
+				st.flight.Offer(trace.ReasonDeadAntenna, -1, st.healthLocked())
 			}
 		} else if missFrac < st.cfg.DeadMissFrac/2 && !starved && (recovered || medPower == 0) {
 			st.dead[a] = false
@@ -545,6 +592,16 @@ func (st *Streamer) Flush() []Estimate {
 
 func (st *Streamer) bufLen() int { return len(st.buf[0][0]) }
 
+// nowNs is the tracing clock: the recorder's epoch when a recorder is
+// wired, so lag samples share the trace's timeline, and the streamer's own
+// start time otherwise (metrics-only lag instrumentation).
+func (st *Streamer) nowNs() int64 {
+	if st.trc != nil {
+		return st.trc.Now()
+	}
+	return int64(time.Since(st.t0))
+}
+
 // aliveAntennas returns the indices of antennas not currently dead. The
 // result aliases a per-Streamer scratch, overwritten by the next call.
 func (st *Streamer) aliveAntennas() []int {
@@ -568,6 +625,14 @@ func (st *Streamer) analyze(flush bool) ([]Estimate, error) {
 	hopSpan := obs.StartSpan(st.ob.hopH)
 	defer hopSpan.End()
 	n := st.bufLen()
+	// Hops are numbered from 1; hop 0 is the batch pipeline's scope. The
+	// hop span's args record the absolute slot window it analyzed, which
+	// is what Lineage uses to attribute pre-hop frame events.
+	st.hopSeq++
+	hop := st.hopSeq
+	winLo := int64(st.dropped)
+	hopTrace := st.trc.Start(trace.KindHop, hop, winLo)
+	defer hopTrace.EndArgs(winLo, winLo+int64(n))
 	upTo := n - st.guard
 	if flush {
 		upTo = n
@@ -584,7 +649,7 @@ func (st *Streamer) analyze(flush bool) ([]Estimate, error) {
 	if len(alive) < 2 {
 		err = fmt.Errorf("%w: only %d live antenna(s), need 2 for alignment", ErrAnalysis, len(alive))
 	} else {
-		res, err = st.analyzeAlive(alive)
+		res, err = st.analyzeAlive(alive, hop)
 		if err != nil {
 			err = fmt.Errorf("%w: %v", ErrAnalysis, err)
 		}
@@ -596,12 +661,14 @@ func (st *Streamer) analyze(flush bool) ([]Estimate, error) {
 		st.ob.failures.Inc()
 		st.log.Warn("stream analysis failed",
 			"err", err, "consecutive", st.failures, "alive", len(alive))
+		st.flight.Offer(trace.ReasonAnalysisFailure, hop, st.healthLocked())
 	} else {
 		st.failures = 0
 		st.lastErr = nil
 	}
 
 	var out []Estimate
+	var degCount int
 	dt := 1 / st.rate
 	for local := st.finalized - st.dropped; local < upTo; local++ {
 		if local < 0 {
@@ -624,13 +691,33 @@ func (st *Streamer) analyze(flush bool) ([]Estimate, error) {
 			e.Degraded = true
 		}
 		st.ob.emitted.Inc()
+		var degFlag int64
 		if e.Degraded {
 			st.ob.degraded.Inc()
+			degFlag = 1
+			degCount++
 		}
+		st.trc.Emit(trace.KindEstimate, hop, int64(st.dropped+local), degFlag, int64(e.Kind))
 		out = append(out, e)
 	}
 	if upTo > st.finalized-st.dropped {
 		st.finalized = st.dropped + upTo
+	}
+	// Ingest-to-emit lag of the newest slot this hop finalized: the
+	// stream's watermark. One sample per hop keeps the histogram cheap
+	// while still bounding the end-to-end latency distribution.
+	if st.lagOn && len(out) > 0 {
+		if local := upTo - 1; local >= 0 && local < len(st.ingestNs) {
+			start := st.ingestNs[local]
+			now := st.nowNs()
+			lagSec := float64(now-start) / 1e9
+			st.ob.lagH.Observe(lagSec)
+			st.ob.lagG.Set(lagSec)
+			st.trc.EmitAt(trace.KindLag, hop, int64(st.dropped+local), 0, 0, start, now-start)
+		}
+	}
+	if degCount > 0 {
+		st.flight.Offer(trace.ReasonDegradedEstimates, hop, st.healthLocked())
 	}
 	// Trim the buffer to the span, but never past the finalized frontier
 	// minus the guard (the next analysis still needs context).
@@ -644,6 +731,9 @@ func (st *Streamer) analyze(flush bool) ([]Estimate, error) {
 				st.buf[a][tx] = st.buf[a][tx][excess:]
 			}
 			st.missing[a] = st.missing[a][excess:]
+		}
+		if st.lagOn && excess <= len(st.ingestNs) {
+			st.ingestNs = st.ingestNs[excess:]
 		}
 		st.dropped += excess
 		if st.inc != nil {
@@ -660,8 +750,14 @@ func (st *Streamer) analyze(flush bool) ([]Estimate, error) {
 // (only the rows invalidated since the last hop are recomputed); with
 // Recompute it rebuilds everything from the raw buffer, the seed's
 // reference behavior.
-func (st *Streamer) analyzeAlive(alive []int) (*Result, error) {
+func (st *Streamer) analyzeAlive(alive []int, hop int64) (*Result, error) {
 	cfg := st.cfg.Core
+	// Stamp every trace event the per-hop pipeline emits with this hop's
+	// causal ID, and keep the incremental engine's row events in sync.
+	cfg.traceHop = hop
+	if st.inc != nil {
+		st.inc.SetHop(hop)
+	}
 	if len(alive) < st.numAnts {
 		sub, err := cfg.Array.Subset(alive)
 		if err != nil {

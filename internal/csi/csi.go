@@ -16,6 +16,7 @@ import (
 	"rim/internal/faults"
 	"rim/internal/geom"
 	"rim/internal/obs"
+	"rim/internal/obs/trace"
 	"rim/internal/rf"
 	"rim/internal/sigproc"
 	"rim/internal/traj"
@@ -54,6 +55,11 @@ type ReceiverConfig struct {
 	// rim_csi_packets_lost_total, counting every loss mechanism: baseline
 	// i.i.d. loss plus injected bursty loss). nil disables the accounting.
 	Obs *obs.Registry
+	// Trace optionally receives per-(NIC, packet) acquisition events —
+	// trace.KindFrameAcquired for every measured frame, trace.KindPacketLost
+	// for every loss, each carrying the slot as the frame ID — the root of
+	// the frame→estimate lineage. nil disables the events.
+	Trace *trace.Recorder
 }
 
 // RealisticReceiver returns impairments typical of the paper's hardware.
@@ -216,10 +222,12 @@ func Collect(env *rf.Environment, arr *array.Array, tr *traj.Trajectory, cfg Rec
 			burstyLost := inj.PacketLost(n)
 			if cfg.LossProb > 0 && rng.Float64() < cfg.LossProb {
 				cLost.Inc()
+				cfg.Trace.Emit(trace.KindPacketLost, -1, int64(slot), int64(n), 0)
 				continue // packet lost on this NIC
 			}
 			if burstyLost {
 				cLost.Inc()
+				cfg.Trace.Emit(trace.KindPacketLost, -1, int64(slot), int64(n), 1)
 				continue
 			}
 			// Per-packet NIC-wide phase state.
@@ -273,6 +281,7 @@ func Collect(env *rf.Environment, arr *array.Array, tr *traj.Trajectory, cfg Rec
 				}
 			}
 			out.frames[n][slot] = f
+			cfg.Trace.Emit(trace.KindFrameAcquired, -1, int64(slot), int64(n), 0)
 		}
 	}
 	return out

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"rim/internal/obs"
+	"rim/internal/obs/trace"
 )
 
 // GilbertElliott is the two-state bursty packet-loss channel: a Markov
@@ -174,6 +175,11 @@ type Model struct {
 	// samples served, and AGC/interference-affected packets injected. nil
 	// disables the accounting.
 	Obs *obs.Registry
+	// Trace optionally receives one trace.KindFault event per injected
+	// fault (A = fault code, B = the affected antenna or NIC, -1 when the
+	// fault has no such scope), so postmortem bundles carry the exact fault
+	// sequence that degraded a run. nil disables the events.
+	Trace *trace.Recorder
 }
 
 // Validate checks the model against an acquisition shape.
@@ -214,6 +220,8 @@ type Injector struct {
 	// count injected events, not random draws, so a clean run keeps every
 	// rim_fault_* series at zero.
 	cLost, cCorrupt, cDead, cAGC, cInterf *obs.Counter
+	// trc mirrors the counters as trace.KindFault events (nil = untraced).
+	trc *trace.Recorder
 }
 
 // NewInjector realizes the model for an acquisition with numNICs cards.
@@ -227,6 +235,7 @@ func (m *Model) NewInjector(numNICs int) *Injector {
 		rng:     rand.New(rand.NewSource(m.Seed)),
 		bad:     make([]bool, numNICs),
 		numNICs: numNICs,
+		trc:     m.Trace,
 	}
 	if reg := m.Obs; reg != nil {
 		in.cLost = reg.Counter("rim_fault_packets_lost_total",
@@ -263,6 +272,7 @@ func (in *Injector) PacketLost(nic int) bool {
 	}
 	if p > 0 && in.rng.Float64() < p {
 		in.cLost.Inc()
+		in.trc.Emit(trace.KindFault, -1, -1, trace.FaultLoss, int64(nic))
 		return true
 	}
 	return false
@@ -277,6 +287,7 @@ func (in *Injector) ChainDead(ant int, t float64) bool {
 		d := &in.m.Dropouts[i]
 		if d.Antenna == ant && d.Active(t) {
 			in.cDead.Inc()
+			in.trc.Emit(trace.KindFault, -1, -1, trace.FaultDead, int64(ant))
 			return true
 		}
 	}
@@ -298,6 +309,7 @@ func (in *Injector) NoiseBoost(t float64) float64 {
 	}
 	if boost != 1 {
 		in.cInterf.Inc()
+		in.trc.Emit(trace.KindFault, -1, -1, trace.FaultInterference, -1)
 	}
 	return boost
 }
@@ -317,6 +329,7 @@ func (in *Injector) Gain(nic int, t float64) float64 {
 	}
 	if g != 1 {
 		in.cAGC.Inc()
+		in.trc.Emit(trace.KindFault, -1, -1, trace.FaultAGC, int64(nic))
 	}
 	return g
 }
@@ -330,6 +343,7 @@ func (in *Injector) CorruptFrame() (corrupt, nan bool) {
 	}
 	if in.rng.Float64() < in.m.Corrupt.Prob {
 		in.cCorrupt.Inc()
+		in.trc.Emit(trace.KindFault, -1, -1, trace.FaultCorrupt, -1)
 		return true, in.m.Corrupt.NaN
 	}
 	return false, false

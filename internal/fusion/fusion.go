@@ -12,6 +12,7 @@ import (
 	"rim/internal/floorplan"
 	"rim/internal/geom"
 	"rim/internal/obs"
+	"rim/internal/obs/trace"
 )
 
 // Input is one fused dead-reckoning step: a travelled distance increment
@@ -47,6 +48,10 @@ type Config struct {
 	// resampling/revival events, the distribution of input quality, and a
 	// live-particle gauge. Fully optional; a nil registry costs nothing.
 	Obs *obs.Registry
+	// Trace, when non-nil, receives one trace.KindFusionStep event per Step
+	// (A = input quality in permille, B = particles alive afterwards) so
+	// fused runs carry the filter's decisions in their causal trace.
+	Trace *trace.Recorder
 }
 
 // DefaultConfig returns the settings used for Fig. 21.
@@ -79,6 +84,7 @@ type Filter struct {
 	steps, resamples, revivals *obs.Counter
 	qualityH                   *obs.Histogram
 	aliveGauge                 *obs.Gauge
+	trc                        *trace.Recorder
 }
 
 // NewFilter initializes the particle cloud around the known initial pose
@@ -90,7 +96,7 @@ func NewFilter(plan *floorplan.Plan, initial geom.Pose, cfg Config) *Filter {
 	if cfg.ResampleFrac <= 0 {
 		cfg.ResampleFrac = 0.5
 	}
-	f := &Filter{cfg: cfg, plan: plan, rng: rand.New(rand.NewSource(cfg.Seed))}
+	f := &Filter{cfg: cfg, plan: plan, rng: rand.New(rand.NewSource(cfg.Seed)), trc: cfg.Trace}
 	if cfg.Obs != nil {
 		f.steps = cfg.Obs.Counter("rim_fusion_steps_total",
 			"particle-filter dead-reckoning steps processed")
@@ -167,6 +173,11 @@ func (f *Filter) Step(in Input) geom.Pose {
 	}
 	if f.aliveGauge != nil {
 		f.aliveGauge.Set(float64(f.NumAlive()))
+	}
+	if f.trc != nil {
+		// Fusion consumes finalized estimates downstream of the hop loop,
+		// so its steps belong to the batch scope (hop 0).
+		f.trc.Emit(trace.KindFusionStep, 0, -1, int64(q*1000), int64(f.NumAlive()))
 	}
 	return f.Estimate()
 }

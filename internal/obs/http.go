@@ -19,6 +19,15 @@ type HealthPayload struct {
 	Metrics []Metric `json:"metrics,omitempty"`
 }
 
+// Route is an extra (pattern, handler) pair mounted on a DebugMux beside
+// the built-in endpoints — how subsystems that obs must not import (the
+// trace recorder's /debug/rimtrace, the flight recorder's
+// /debug/postmortem) join the debug surface.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // DebugMux builds the opt-in debug surface served by -debug-addr:
 //
 //	/metrics      Prometheus text exposition of reg
@@ -26,10 +35,10 @@ type HealthPayload struct {
 //	/debug/vars   expvar JSON (reg is also published as expvar "rim")
 //	/debug/pprof  the standard pprof handlers
 //
-// health may be nil (the payload's health field is then null); reg may be
-// nil (empty exposition). The mux is self-contained — nothing is
-// registered on http.DefaultServeMux.
-func DebugMux(reg *Registry, health func() any) *http.ServeMux {
+// plus any extra routes. health may be nil (the payload's health field is
+// then null); reg may be nil (empty exposition). The mux is self-contained
+// — nothing is registered on http.DefaultServeMux.
+func DebugMux(reg *Registry, health func() any, extras ...Route) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -54,6 +63,11 @@ func DebugMux(reg *Registry, health func() any) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, r := range extras {
+		if r.Handler != nil {
+			mux.Handle(r.Pattern, r.Handler)
+		}
+	}
 	return mux
 }
 
@@ -76,16 +90,16 @@ func (r *Registry) PublishExpvar(name string) {
 	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
 }
 
-// StartDebugServer listens on addr and serves DebugMux(reg, health) in a
-// background goroutine. It returns the server (for Close) and the bound
-// address (useful with a ":0" addr). Startup errors (bad addr, port in
-// use) are returned synchronously.
-func StartDebugServer(addr string, reg *Registry, health func() any) (*http.Server, string, error) {
+// StartDebugServer listens on addr and serves DebugMux(reg, health,
+// extras...) in a background goroutine. It returns the server (for Close)
+// and the bound address (useful with a ":0" addr). Startup errors (bad
+// addr, port in use) are returned synchronously.
+func StartDebugServer(addr string, reg *Registry, health func() any, extras ...Route) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("obs: debug server: %w", err)
 	}
-	srv := &http.Server{Handler: DebugMux(reg, health)}
+	srv := &http.Server{Handler: DebugMux(reg, health, extras...)}
 	go srv.Serve(ln)
 	return srv, ln.Addr().String(), nil
 }

@@ -180,6 +180,13 @@ func (h *Histogram) Quantile(q float64) float64 {
 	for i, b := range h.bounds {
 		c := h.counts[i].Load()
 		if float64(cum+c) >= rank && c > 0 {
+			if math.IsInf(b, 1) {
+				// Defensive: a +Inf bound (possible on histograms built
+				// before registration-time stripping) cannot be
+				// interpolated into; clamp to the last finite boundary,
+				// matching the overflow bucket's behavior below.
+				return lower
+			}
 			frac := (rank - float64(cum)) / float64(c)
 			if frac < 0 {
 				frac = 0
@@ -302,6 +309,12 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	}
 	if bounds == nil {
 		bounds = DefLatencyBuckets
+	}
+	// The implicit overflow bucket is already +Inf; an explicit trailing
+	// +Inf bound would both double it up and poison Quantile's
+	// interpolation (lower + (Inf-lower)*frac is Inf, or NaN at frac 0).
+	if n := len(bounds); n > 0 && math.IsInf(bounds[n-1], 1) {
+		bounds = bounds[:n-1]
 	}
 	for i := 1; i < len(bounds); i++ {
 		if bounds[i] <= bounds[i-1] {

@@ -95,6 +95,49 @@ func TestHistogramBucketsAndQuantile(t *testing.T) {
 	}
 }
 
+// TestQuantileExplicitInfBucket is the regression test for quantile
+// estimation on histograms registered with an explicit +Inf bound: the
+// interpolation used to return +Inf (or NaN at frac 0) instead of clamping
+// to the last finite boundary like the implicit overflow bucket does.
+func TestQuantileExplicitInfBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("rim_inf_seconds", "explicit +Inf bound", []float64{0.1, 1, math.Inf(1)})
+	for _, v := range []float64{0.05, 0.5, 50, 500} {
+		h.Observe(v)
+	}
+	// Half the observations overflow the finite bounds; every upper
+	// quantile must clamp to the last finite boundary, never +Inf or NaN.
+	for _, q := range []float64{0.75, 0.9, 0.99, 1} {
+		got := h.Quantile(q)
+		if math.IsInf(got, 0) || math.IsNaN(got) {
+			t.Fatalf("Quantile(%v) = %v, want finite clamp", q, got)
+		}
+		if got != 1 {
+			t.Errorf("Quantile(%v) = %v, want clamp to last finite bound 1", q, got)
+		}
+	}
+	// Lower quantiles still interpolate inside finite buckets.
+	if p25 := h.Quantile(0.25); p25 <= 0 || p25 > 0.1 {
+		t.Errorf("P25 = %v, want in (0, 0.1]", p25)
+	}
+	// The stripped bound must not double up the overflow bucket in the
+	// exposition: snapshot ends with exactly one +Inf bucket.
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d metrics, want 1", len(snap))
+	}
+	bs := snap[0].Buckets
+	if len(bs) != 3 { // 0.1, 1, +Inf
+		t.Fatalf("buckets = %d, want 3 (trailing +Inf bound stripped)", len(bs))
+	}
+	if !math.IsInf(bs[2].UpperBound, 1) || bs[2].CumulativeCount != 4 {
+		t.Errorf("overflow bucket = %+v, want +Inf with count 4", bs[2])
+	}
+	if math.IsInf(bs[1].UpperBound, 1) {
+		t.Error("second bucket is +Inf: explicit bound not stripped")
+	}
+}
+
 func TestSpanRecords(t *testing.T) {
 	r := NewRegistry()
 	h := r.Timer("rim_span_seconds", "")

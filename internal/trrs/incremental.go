@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rim/internal/obs"
+	"rim/internal/obs/trace"
 	"rim/internal/sigproc"
 )
 
@@ -78,6 +79,10 @@ type Incremental struct {
 	rowsReused, rowsStale *obs.Counter
 	rowsFilled            *obs.Counter
 	poolGauge             *obs.Gauge
+	// trc/hop feed per-ExtendMatrix reuse/stale decisions into the causal
+	// trace (propagated into every EngineView); nil = no tracing.
+	trc *trace.Recorder
+	hop int64
 }
 
 // incMat is one maintained pair matrix plus the absolute window
@@ -159,6 +164,16 @@ func (inc *Incremental) SetObs(reg *obs.Registry) {
 	inc.poolGauge = reg.Gauge("rim_trrs_pool_workers",
 		"worker count of the most recent TRRS pool build")
 }
+
+// SetTrace attaches an event recorder: every ExtendMatrix emits a
+// trace.KindTRRSExtend event carrying its reuse/stale row split, and the
+// recorder is inherited by every EngineView (whose builds emit
+// trace.KindTRRSFill). A nil recorder (the default) disables tracing.
+func (inc *Incremental) SetTrace(rec *trace.Recorder) { inc.trc = rec }
+
+// SetHop stamps subsequently emitted trace events with the causal hop ID
+// of the analysis hop driving this engine.
+func (inc *Incremental) SetHop(hop int64) { inc.hop = hop }
 
 // NumSlots returns the current window length.
 func (inc *Incremental) NumSlots() int { return inc.end - inc.start }
@@ -295,6 +310,8 @@ func (inc *Incremental) viewInto(e *Engine, ants []int) error {
 	e.par = inc.par
 	e.rowsFilled = inc.rowsFilled
 	e.poolGauge = inc.poolGauge
+	e.trc = inc.trc
+	e.hop = inc.hop
 	lo, hi := inc.head*tones, (inc.head+e.slots)*tones
 	for k, a := range ants {
 		if a < 0 || a >= inc.numAnt {
@@ -422,6 +439,10 @@ func (inc *Incremental) ExtendMatrix(i, j int) (*Matrix, error) {
 	*m = Matrix{I: i, J: j, W: inc.w, Rate: inc.rate, Vals: rows}
 	inc.rowsReused.Add(uint64(tSlots - len(stale)))
 	inc.rowsStale.Add(uint64(len(stale)))
+	if inc.trc != nil {
+		inc.trc.Emit(trace.KindTRRSExtend, inc.hop, trace.PairCode(i, j),
+			int64(tSlots-len(stale)), int64(len(stale)))
+	}
 	e.fillRowsSharded(m, stale)
 	im.flats[nxt] = flat
 	im.rows[nxt] = rows

@@ -3,6 +3,8 @@ package trrs
 import (
 	"sync"
 	"sync/atomic"
+
+	"rim/internal/obs/trace"
 )
 
 // PairSpec names one antenna pair for bulk matrix computation.
@@ -115,6 +117,11 @@ func (e *Engine) BaseMatrices(pairs []PairSpec, w int) []*Matrix {
 		out[k] = e.newFlatMatrix(pairs[k].I, pairs[k].J, w)
 	}
 	e.rowsFilled.Add(uint64(len(compute) * e.slots))
+	if e.trc != nil {
+		// Bulk multi-pair build: Frame = -1, A = rows computed from
+		// scratch, B = pairs requested (aliases/reflections included).
+		e.trc.Emit(trace.KindTRRSFill, e.hop, -1, int64(len(compute)*e.slots), int64(len(pairs)))
+	}
 
 	// Phase 1: fill the computed matrices (self-pairs: half band only).
 	fill := func(k, t int) {
@@ -205,6 +212,9 @@ func (e *Engine) BaseMatrices(pairs []PairSpec, w int) []*Matrix {
 // be allocated at width 2W+1.
 func (e *Engine) fillRowsSharded(m *Matrix, rows []int) {
 	e.rowsFilled.Add(uint64(len(rows)))
+	if e.trc != nil {
+		e.trc.Emit(trace.KindTRRSFill, e.hop, trace.PairCode(m.I, m.J), int64(len(rows)), 0)
+	}
 	workers := e.workers()
 	if workers > len(rows) {
 		workers = len(rows)

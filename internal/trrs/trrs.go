@@ -28,6 +28,7 @@ import (
 
 	"rim/internal/csi"
 	"rim/internal/obs"
+	"rim/internal/obs/trace"
 	"rim/internal/sigproc"
 )
 
@@ -82,6 +83,10 @@ type Engine struct {
 	// count on the most recent build.
 	rowsFilled *obs.Counter
 	poolGauge  *obs.Gauge
+	// trc/hop feed per-build fill events into the causal trace (nil = no
+	// tracing); hop is the causal hop ID stamped on emitted events.
+	trc *trace.Recorder
+	hop int64
 }
 
 // SetParallelism sets the worker count used by BaseMatrix/BaseMatrices:
@@ -122,6 +127,15 @@ func (e *Engine) SetObs(reg *obs.Registry) {
 	e.poolGauge = reg.Gauge("rim_trrs_pool_workers",
 		"worker count of the most recent TRRS pool build")
 }
+
+// SetTrace attaches an event recorder: base-matrix builds emit
+// trace.KindTRRSFill events describing the rows computed from scratch. A
+// nil recorder (the default) disables tracing at one nil check per build.
+func (e *Engine) SetTrace(rec *trace.Recorder) { e.trc = rec }
+
+// SetHop stamps subsequently emitted trace events with the causal hop ID
+// of the analysis driving this engine (0 = batch).
+func (e *Engine) SetHop(hop int64) { e.hop = hop }
 
 // workers resolves the effective worker count.
 func (e *Engine) workers() int {
