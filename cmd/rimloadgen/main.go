@@ -1,0 +1,362 @@
+// Command rimloadgen drives a rimserved daemon with N simulated walkers:
+// it synthesizes a clean walk and a faulty walk (bursty loss plus dead RF
+// chains, via internal/rf + internal/faults) once, then replays them over
+// the wire protocol as hundreds of concurrent sessions — a configurable
+// fraction getting the faulty CSI, which flaps their analysis and
+// exercises the daemon's restart/quarantine machinery. The generator
+// survives daemon kills mid-run (reconnect with retry), so a chaos soak
+// can SIGKILL rimserved and watch it restore from checkpoints.
+//
+// Usage:
+//
+//	rimloadgen [-addr localhost:7101] [-sessions 50] [-conns 4]
+//	           [-duration 10s] [-rate 50] [-fps 0] [-fault-frac 0.2]
+//	           [-debug-url http://localhost:7171] [-seed 1]
+//
+// -fps paces replay per session (0 = as fast as possible, the overload
+// case). At the end it reports frames sent, reconnects, sessions/core, and
+// — when -debug-url points at the daemon's debug server — shed/restart/
+// quarantine counters and the p99 ingest-to-emit lag from
+// rim_stream_lag_seconds.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rim/internal/array"
+	"rim/internal/csi"
+	"rim/internal/experiments"
+	"rim/internal/faults"
+	"rim/internal/geom"
+	"rim/internal/obs"
+	"rim/internal/rf"
+	"rim/internal/session"
+	"rim/internal/traj"
+)
+
+func fatal(args ...any) {
+	fmt.Fprintln(os.Stderr, append([]any{"rimloadgen:"}, args...)...)
+	os.Exit(1)
+}
+
+// template is one pre-generated walk, replayed by many sessions.
+type template struct {
+	series *csi.Series
+	spec   session.Spec
+	// deadFrom, when >= 0, is the frame count after which antennas 0 and 1
+	// are reported missing on the wire — permanently, across replay wraps —
+	// simulating RF chains that died mid-run. With one live antenna left the
+	// session's analysis fails every hop, which is the intentional flapping
+	// that must end in quarantine.
+	deadFrom int
+}
+
+// buildTemplate synthesizes one walker's CSI series. faulty layers bursty
+// packet loss plus noise-only RF chains (faults.Dropout) on antennas 0 and
+// 1 from mid-walk; the replay additionally flags those antennas missing on
+// the wire from that point on (see template.deadFrom), the way a real
+// producer reports a chain its NIC stopped delivering.
+func buildTemplate(rate float64, seed int64, faulty bool) (*template, error) {
+	cfg := rf.FastConfig()
+	cfg.Seed = seed
+	env := rf.NewEnvironment(cfg, geom.Vec2{}, geom.Vec2{X: 5}, nil)
+	b := traj.NewBuilder(rate, geom.Pose{Pos: geom.Vec2{X: 4}})
+	b.Pause(0.5)
+	b.MoveDir(0, 1.5, 0.5)
+	b.Pause(0.5)
+	tr := b.Build()
+
+	rcv := csi.RealisticReceiver(seed)
+	if faulty {
+		fm := &faults.Model{Seed: seed}
+		fm.Loss = faults.NewGilbertElliott(0.3, 15)
+		fm.Dropouts = []faults.Dropout{
+			{Antenna: 0, Start: 1.5},
+			{Antenna: 1, Start: 1.5},
+		}
+		rcv.Faults = fm
+	}
+	arr := array.NewLinear3(experiments.Spacing)
+	series, err := csi.Collect(env, arr, tr, rcv).Process(true)
+	if err != nil {
+		return nil, err
+	}
+	deadFrom := -1
+	if faulty {
+		deadFrom = int(1.5 * rate)
+	}
+	return &template{
+		series: series,
+		spec: session.Spec{
+			Rate:    series.Rate,
+			NumAnts: series.NumAnts,
+			NumTx:   series.NumTx,
+			NumSub:  series.NumSub,
+		},
+		deadFrom: deadFrom,
+	}, nil
+}
+
+// walker is one simulated session.
+type walker struct {
+	id   string
+	tmpl *template
+	slot int // replay cursor (wraps)
+}
+
+// counters aggregates producer-side outcomes.
+type counters struct {
+	frames     atomic.Int64
+	reconnects atomic.Int64
+	sendErrs   atomic.Int64
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:7101", "rimserved ingest address")
+	sessions := flag.Int("sessions", 50, "concurrent simulated walkers")
+	conns := flag.Int("conns", 4, "TCP connections to spread sessions over")
+	duration := flag.Duration("duration", 10*time.Second, "how long to generate load")
+	rate := flag.Float64("rate", 50, "CSI packet rate of the simulated walkers, Hz")
+	fps := flag.Float64("fps", 0, "replay pacing per session, frames/s (0 = unpaced, the overload case)")
+	faultFrac := flag.Float64("fault-frac", 0.2, "fraction of sessions replaying the faulty (flapping) walk")
+	debugURL := flag.String("debug-url", "", "rimserved debug base URL to scrape for the end-of-run report (e.g. http://localhost:7171)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	if *sessions <= 0 || *conns <= 0 {
+		fatal("-sessions and -conns must be positive")
+	}
+	if *conns > *sessions {
+		*conns = *sessions
+	}
+
+	fmt.Fprintf(os.Stderr, "rimloadgen: synthesizing templates (rate %.0f Hz)...\n", *rate)
+	clean, err := buildTemplate(*rate, *seed, false)
+	if err != nil {
+		fatal("clean template:", err)
+	}
+	faulty, err := buildTemplate(*rate, *seed+1, true)
+	if err != nil {
+		fatal("faulty template:", err)
+	}
+
+	nFaulty := int(float64(*sessions) * *faultFrac)
+	walkers := make([]*walker, *sessions)
+	for i := range walkers {
+		tmpl := clean
+		if i < nFaulty {
+			tmpl = faulty
+		}
+		walkers[i] = &walker{id: fmt.Sprintf("walker-%04d", i), tmpl: tmpl}
+	}
+
+	var c counters
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for ci := 0; ci < *conns; ci++ {
+		// Stripe walkers across connections.
+		var mine []*walker
+		for i := ci; i < len(walkers); i += *conns {
+			mine = append(mine, walkers[i])
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runConn(*addr, mine, deadline, *fps, &c)
+		}()
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	cores := runtime.NumCPU()
+	fmt.Printf("rimloadgen: %d sessions (%d faulty) over %d conns for %s\n",
+		*sessions, nFaulty, *conns, elapsed.Round(time.Millisecond))
+	fmt.Printf("  frames sent:      %d (%.0f frames/s)\n",
+		c.frames.Load(), float64(c.frames.Load())/elapsed.Seconds())
+	fmt.Printf("  sessions/core:    %.1f (%d cores)\n", float64(*sessions)/float64(cores), cores)
+	fmt.Printf("  reconnects:       %d\n", c.reconnects.Load())
+	fmt.Printf("  send errors:      %d\n", c.sendErrs.Load())
+	if *debugURL != "" {
+		reportDaemon(*debugURL)
+	}
+}
+
+// runConn owns one connection's walkers: dial (with retry), open the
+// sessions, interleave their frames until the deadline, close them. Any
+// write error tears the connection down and redials — sessions are
+// re-opened (idempotent server-side) and replay continues from each
+// walker's cursor, which is how the generator rides out a daemon
+// kill/restart mid-run.
+func runConn(addr string, walkers []*walker, deadline time.Time, fps float64, c *counters) {
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			for _, w := range walkers {
+				session.WriteClose(conn, w.id)
+			}
+			conn.Close()
+		}
+	}()
+
+	dial := func() bool {
+		if conn != nil {
+			conn.Close()
+			conn = nil
+		}
+		for time.Now().Before(deadline) {
+			nc, err := net.DialTimeout("tcp", addr, time.Second)
+			if err != nil {
+				time.Sleep(200 * time.Millisecond)
+				continue
+			}
+			if err := session.WriteWirePreamble(nc); err != nil {
+				nc.Close()
+				time.Sleep(200 * time.Millisecond)
+				continue
+			}
+			ok := true
+			for _, w := range walkers {
+				if err := session.WriteOpen(nc, w.id, w.tmpl.spec); err != nil {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				nc.Close()
+				continue
+			}
+			conn = nc
+			return true
+		}
+		return false
+	}
+
+	if !dial() {
+		return
+	}
+
+	var tick *time.Ticker
+	if fps > 0 {
+		tick = time.NewTicker(time.Duration(float64(time.Second) / fps))
+		defer tick.Stop()
+	}
+	for time.Now().Before(deadline) {
+		for _, w := range walkers {
+			s := w.tmpl.series
+			n := s.NumSlots()
+			t := w.slot % n
+			w.slot++
+			frame := make([][][]complex128, s.NumAnts)
+			missing := make([]bool, s.NumAnts)
+			dead := w.tmpl.deadFrom >= 0 && w.slot > w.tmpl.deadFrom
+			for a := 0; a < s.NumAnts; a++ {
+				frame[a] = make([][]complex128, s.NumTx)
+				for tx := 0; tx < s.NumTx; tx++ {
+					frame[a][tx] = s.H[a][tx][t]
+				}
+				missing[a] = s.Missing != nil && a < len(s.Missing) && t < len(s.Missing[a]) && s.Missing[a][t]
+				if dead && a < 2 {
+					missing[a] = true
+				}
+			}
+			if err := session.WriteFrame(conn, w.id, frame, missing); err != nil {
+				c.sendErrs.Add(1)
+				c.reconnects.Add(1)
+				if !dial() {
+					return
+				}
+				continue
+			}
+			c.frames.Add(1)
+		}
+		if tick != nil {
+			select {
+			case <-tick.C:
+			default:
+				<-tick.C
+			}
+		}
+	}
+}
+
+// healthPayload mirrors obs.HealthPayload with the daemon's health shape.
+type healthPayload struct {
+	Health  session.DaemonHealth `json:"health"`
+	Metrics []obs.Metric         `json:"metrics"`
+}
+
+// reportDaemon scrapes the daemon's /healthz and prints the acceptance
+// numbers: shed/restart/quarantine counters and p99 ingest-to-emit lag.
+func reportDaemon(base string) {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rimloadgen: scrape failed:", err)
+		return
+	}
+	defer resp.Body.Close()
+	var hp healthPayload
+	if err := json.NewDecoder(resp.Body).Decode(&hp); err != nil {
+		fmt.Fprintln(os.Stderr, "rimloadgen: scrape decode failed:", err)
+		return
+	}
+	metric := func(name string) (obs.Metric, bool) {
+		for _, m := range hp.Metrics {
+			if m.Name == name {
+				return m, true
+			}
+		}
+		return obs.Metric{}, false
+	}
+	value := func(name string) float64 {
+		m, _ := metric(name)
+		return m.Value
+	}
+	fmt.Printf("daemon (%s):\n", base)
+	fmt.Printf("  sessions:         %d (%v), breaker %s\n", hp.Health.Sessions, hp.Health.ByState, hp.Health.Breaker)
+	fmt.Printf("  shed:             %.0f\n", value("rim_shed_total"))
+	fmt.Printf("  restarts:         %.0f\n", value("rim_session_restarts_total"))
+	fmt.Printf("  quarantined:      %.0f\n", value("rim_session_quarantined_total"))
+	fmt.Printf("  hop deadlines:    %.0f\n", value("rim_hop_deadline_exceeded_total"))
+	fmt.Printf("  frames dropped:   %.0f\n", value("rim_session_frames_dropped_total"))
+	if m, ok := metric("rim_stream_lag_seconds"); ok && m.Count > 0 {
+		fmt.Printf("  p99 ingest→emit:  %.3fs (%d lag samples)\n", bucketQuantile(m, 0.99), m.Count)
+	} else {
+		fmt.Printf("  p99 ingest→emit:  n/a (no lag samples)\n")
+	}
+}
+
+// bucketQuantile estimates a quantile from a cumulative bucket snapshot
+// with linear interpolation inside the winning bucket (the same estimate
+// Prometheus' histogram_quantile makes).
+func bucketQuantile(m obs.Metric, q float64) float64 {
+	if m.Count == 0 || len(m.Buckets) == 0 {
+		return 0
+	}
+	target := q * float64(m.Count)
+	lowerBound, lowerCum := 0.0, uint64(0)
+	for _, b := range m.Buckets {
+		if float64(b.CumulativeCount) >= target {
+			span := float64(b.CumulativeCount - lowerCum)
+			if span <= 0 {
+				return b.UpperBound
+			}
+			frac := (target - float64(lowerCum)) / span
+			if b.UpperBound > 1e18 { // +Inf overflow bucket
+				return lowerBound
+			}
+			return lowerBound + (b.UpperBound-lowerBound)*frac
+		}
+		lowerBound, lowerCum = b.UpperBound, b.CumulativeCount
+	}
+	return lowerBound
+}

@@ -1,0 +1,270 @@
+// Command rimserved is the RIM multi-session tracking daemon: it accepts
+// CSI frame streams over TCP (the internal/session wire protocol), runs
+// one supervised core.Streamer per session behind a bounded queue with an
+// explicit overload policy, sheds load past its admission watermark,
+// periodically checkpoints every session for crash-restart, and serves its
+// health and metrics on a debug HTTP endpoint.
+//
+// Usage:
+//
+//	rimserved [-listen :7101] [-debug-addr :7171]
+//	          [-shards 8] [-max-sessions 0] [-queue 64]
+//	          [-policy drop-oldest|reject|degrade]
+//	          [-hop-deadline 0] [-span 3] [-hop 0.5]
+//	          [-checkpoint-dir dir] [-checkpoint-every 5s]
+//	          [-postmortem-out dir]
+//
+// On SIGINT/SIGTERM the daemon drains every session, persists final
+// checkpoints and exits; on the next start it restores them and resumes.
+// A SIGKILL loses at most one checkpoint interval per session.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"rim/internal/array"
+	"rim/internal/core"
+	"rim/internal/experiments"
+	"rim/internal/obs"
+	"rim/internal/obs/trace"
+	"rim/internal/session"
+)
+
+func fatal(args ...any) {
+	fmt.Fprintln(os.Stderr, append([]any{"rimserved:"}, args...)...)
+	os.Exit(1)
+}
+
+// arrayForAnts maps a session's antenna count to a receive geometry. The
+// wire protocol carries only the shape, so the daemon picks the canonical
+// array of that size.
+func arrayForAnts(n int) (*array.Array, error) {
+	switch n {
+	case 2:
+		return array.NewPairArray(experiments.Spacing), nil
+	case 3:
+		return array.NewLinear3(experiments.Spacing), nil
+	case 6:
+		return array.NewHexagonal(experiments.Spacing), nil
+	}
+	return nil, fmt.Errorf("no canonical array with %d antennas (want 2, 3 or 6)", n)
+}
+
+func main() {
+	listen := flag.String("listen", ":7101", "TCP ingest address")
+	debugAddr := flag.String("debug-addr", ":7171", "debug HTTP address (/metrics, /healthz, /sessions, /debug/...), empty disables")
+	shards := flag.Int("shards", 8, "session registry shard count")
+	maxSessions := flag.Int("max-sessions", 0, "admission watermark: shed session opens beyond this many live sessions (0 = unlimited)")
+	queueCap := flag.Int("queue", 64, "per-session frame queue capacity")
+	policyName := flag.String("policy", "degrade", "overload policy: drop-oldest, reject, degrade")
+	hopDeadline := flag.Duration("hop-deadline", 0, "per-hop analysis deadline (0 = unbounded); overruns emit degraded placeholders")
+	span := flag.Float64("span", 3, "streaming analysis span, seconds")
+	hop := flag.Float64("hop", 0.5, "streaming analysis hop, seconds")
+	window := flag.Float64("window", 0.3, "TRRS lag window, seconds")
+	maxRestarts := flag.Int("max-restarts", 3, "consecutive supervisor restarts before quarantine")
+	failThresh := flag.Int("failure-threshold", 0, "consecutive analysis failures before a session restart (0 = package default)")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for session checkpoints (enables crash-restart)")
+	ckptEvery := flag.Duration("checkpoint-every", 5*time.Second, "checkpoint persistence interval")
+	pmOut := flag.String("postmortem-out", "", "directory flight-recorder postmortem bundles are written to")
+	flag.Parse()
+
+	policy, ok := session.ParsePolicy(*policyName)
+	if !ok {
+		fatal("unknown -policy", *policyName)
+	}
+
+	log := obs.NewTextLogger(os.Stderr, slog.LevelInfo)
+	obs.SetLogger(log)
+	reg := obs.NewRegistry()
+	rec := trace.NewRecorder(0)
+	breaker := session.NewBreaker(session.BreakerConfig{})
+
+	var registry *session.Registry
+	registryHealth := func() any {
+		if registry == nil {
+			return nil
+		}
+		return registry.Health()
+	}
+	flight := trace.NewFlight(trace.FlightConfig{
+		Recorder: rec,
+		Registry: reg,
+		Dir:      *pmOut,
+		Health:   registryHealth,
+		Log:      log,
+	})
+	// Quarantines are rare and load-bearing for diagnosis, so they get
+	// their own flight: the shared one rate-limits captures and a stream
+	// of routine degraded-estimate bundles would starve the one that
+	// explains why a session died.
+	quarantineFlight := trace.NewFlight(trace.FlightConfig{
+		Recorder: rec,
+		Registry: reg,
+		Dir:      *pmOut,
+		Trigger:  func(reason string) bool { return reason == trace.ReasonSessionQuarantined },
+		Health:   registryHealth,
+		Log:      log,
+	})
+
+	factory := func(id string, spec session.Spec, cp *core.StreamCheckpoint) (session.Stream, error) {
+		arr, err := arrayForAnts(spec.NumAnts)
+		if err != nil {
+			return nil, err
+		}
+		scfg := core.StreamConfig{
+			Core: core.Config{
+				Array:         arr,
+				WindowSeconds: *window,
+				Obs:           reg,
+				Trace:         rec,
+				Flight:        flight,
+				Logger:        log,
+			},
+			SpanSeconds: *span,
+			HopSeconds:  *hop,
+			HopDeadline: *hopDeadline,
+		}
+		if cp != nil {
+			return core.NewStreamerFromCheckpoint(scfg, cp)
+		}
+		return core.NewStreamer(scfg, spec.Rate, spec.NumAnts, spec.NumTx, spec.NumSub)
+	}
+
+	registry, err := session.NewRegistry(session.RegistryConfig{
+		Shards:          *shards,
+		MaxSessions:     *maxSessions,
+		Breaker:         breaker,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		Log:             log,
+		Session: session.Config{
+			Factory:          factory,
+			Queue:            *queueCap,
+			Policy:           policy,
+			MaxRestarts:      *maxRestarts,
+			FailureThreshold: *failThresh,
+			Metrics:          session.NewMetrics(reg),
+			Flight:           quarantineFlight,
+			Log:              log,
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if n, _ := registry.Restore(); n > 0 {
+		log.Info("sessions restored from checkpoints", "count", n, "dir", *ckptDir)
+	}
+
+	if *debugAddr != "" {
+		srv, addr, err := obs.StartDebugServer(*debugAddr, reg,
+			func() any { return registry.Health() },
+			obs.Route{Pattern: "/debug/rimtrace", Handler: trace.Handler(rec)},
+			obs.Route{Pattern: "/debug/postmortem", Handler: flight.Handler()},
+			obs.Route{Pattern: "/sessions", Handler: sessionsHandler(registry)},
+		)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		log.Info("debug server up", "addr", "http://"+addr)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	log.Info("rimserved listening", "addr", ln.Addr().String(),
+		"policy", policy.String(), "max_sessions", *maxSessions, "shards", *shards)
+
+	var connWg sync.WaitGroup
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed during shutdown
+			}
+			connWg.Add(1)
+			go func() {
+				defer connWg.Done()
+				defer conn.Close()
+				serveConn(conn, registry, log)
+			}()
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-stop
+	log.Info("shutting down", "signal", sig.String())
+	ln.Close()
+	registry.Shutdown()
+	log.Info("shutdown complete")
+}
+
+// serveConn pumps one producer connection: preamble check, then a message
+// loop routing opens/frames/closes into the registry. A malformed message
+// ends the connection (the framing cannot resync); session errors (shed,
+// rejected frame) are logged and the connection continues — the producer's
+// other sessions must not suffer.
+func serveConn(conn net.Conn, registry *session.Registry, log *slog.Logger) {
+	peer := conn.RemoteAddr().String()
+	if err := session.ReadWirePreamble(conn); err != nil {
+		log.Warn("wire preamble rejected", "peer", peer, "err", err)
+		return
+	}
+	wr := session.NewWireReader(conn)
+	shedLogged := map[string]bool{}
+	for {
+		msg, err := wr.Read()
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.EOF) {
+				log.Info("connection closed", "peer", peer, "err", err)
+			}
+			return
+		}
+		switch msg.Type {
+		case session.MsgOpen:
+			if _, err := registry.Open(msg.ID, msg.Spec); err != nil {
+				if !shedLogged[msg.ID] {
+					log.Warn("session open refused", "peer", peer, "session", msg.ID, "err", err)
+					shedLogged[msg.ID] = true
+				}
+			}
+		case session.MsgFrame:
+			if err := registry.Ingest(msg.ID, msg.Snap, msg.Missing); err != nil {
+				if errors.Is(err, session.ErrUnknownSession) && !shedLogged[msg.ID] {
+					log.Warn("frame for unknown session", "peer", peer, "session", msg.ID)
+					shedLogged[msg.ID] = true
+				}
+			}
+		case session.MsgClose:
+			if err := registry.Close(msg.ID); err != nil && !errors.Is(err, session.ErrUnknownSession) {
+				log.Warn("session close failed", "session", msg.ID, "err", err)
+			}
+		}
+	}
+}
+
+// sessionsHandler serves the /sessions JSON listing.
+func sessionsHandler(registry *session.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(registry.Infos()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

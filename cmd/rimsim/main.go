@@ -52,7 +52,9 @@ type debugState struct {
 func (d *debugState) snapshot() any {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.h
+	// Clone detaches the slices/error: the HTTP handler serializes the
+	// snapshot outside this lock.
+	return d.h.Clone()
 }
 
 func (d *debugState) ingest(series *csi.Series) {

@@ -251,7 +251,9 @@ type healthState struct {
 func (s *healthState) snapshot() any {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.h
+	// Clone detaches the slices/error: the HTTP handler serializes the
+	// snapshot outside this lock.
+	return s.h.Clone()
 }
 
 func (s *healthState) ingest(series *csi.Series) {

@@ -7,9 +7,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"math"
+	"time"
 
 	"rim/internal/align"
 	"rim/internal/array"
@@ -98,6 +100,28 @@ type Config struct {
 	// events: 0 for batch runs, ≥ 1 for the streaming front end's hops
 	// (core.Streamer threads it through before each re-analysis).
 	traceHop int64
+	// hopDeadline / hopCtx bound this analysis pass: Process checks them at
+	// stage boundaries (before movement detection and before each segment)
+	// and, once exceeded, stops analyzing and leaves the remaining slots as
+	// degraded placeholders instead of stalling the caller. The zero values
+	// (batch runs, streams without StreamConfig.HopDeadline) disable the
+	// checks. Threaded by core.Streamer per hop.
+	hopDeadline time.Time
+	hopCtx      context.Context
+}
+
+// hopExpired reports whether the analysis deadline for this pass is gone:
+// the hop context is done or the hop deadline has passed. Free when neither
+// is set.
+func (cfg *Config) hopExpired() bool {
+	if cfg.hopCtx != nil {
+		select {
+		case <-cfg.hopCtx.Done():
+			return true
+		default:
+		}
+	}
+	return !cfg.hopDeadline.IsZero() && time.Now().After(cfg.hopDeadline)
 }
 
 // logger resolves the configured logger (never nil).
@@ -233,6 +257,10 @@ type Result struct {
 	// MovementIndicator is the §4.1 self-TRRS statistic (exposed for the
 	// Fig. 7 experiment).
 	MovementIndicator []float64
+	// DeadlineExceeded reports that the analysis deadline expired before
+	// the pass completed: the slots of every unprocessed stage were emitted
+	// as degraded placeholders (never stale or fabricated motion).
+	DeadlineExceeded bool
 }
 
 // groupMatrices holds one alignment matrix per parallel-isometric group.
@@ -483,24 +511,33 @@ func (p *Pipeline) Process() *Result {
 		// bundle always contains the hop span it needs for lineage.
 		hopTrace = p.cfg.Trace.Start(trace.KindHop, 0, -1)
 	}
-	movementSpan := obs.StartSpan(p.po.movementH)
-	movementTrace := p.cfg.Trace.Start(trace.KindMovement, hop, -1)
-	res.MovementIndicator = align.MovementIndicator(p.eng, p.cfg.Movement)
-	moving := align.ThresholdWithHysteresis(res.MovementIndicator, p.cfg.Movement)
-	p.moving = moving
-	release := p.cfg.Movement.ReleaseThreshold
-	if release < p.cfg.Movement.Threshold {
-		release = p.cfg.Movement.Threshold
+	// Deadline gate: every stage boundary below re-checks it, and a pass
+	// that runs out of budget finishes immediately with degraded
+	// placeholders for everything it did not get to — a late answer that
+	// says "I don't know" beats a stalled session.
+	var moving []bool
+	if p.cfg.hopExpired() {
+		res.DeadlineExceeded = true
+	} else {
+		movementSpan := obs.StartSpan(p.po.movementH)
+		movementTrace := p.cfg.Trace.Start(trace.KindMovement, hop, -1)
+		res.MovementIndicator = align.MovementIndicator(p.eng, p.cfg.Movement)
+		moving = align.ThresholdWithHysteresis(res.MovementIndicator, p.cfg.Movement)
+		p.moving = moving
+		release := p.cfg.Movement.ReleaseThreshold
+		if release < p.cfg.Movement.Threshold {
+			release = p.cfg.Movement.Threshold
+		}
+		p.movingSoft = make([]bool, len(res.MovementIndicator))
+		for t, v := range res.MovementIndicator {
+			p.movingSoft[t] = v < release
+		}
+		fastCfg := p.cfg.Movement
+		fastCfg.SlowLagSeconds = 0
+		p.fastInd = align.MovementIndicator(p.eng, fastCfg)
+		movementSpan.End()
+		movementTrace.End()
 	}
-	p.movingSoft = make([]bool, len(res.MovementIndicator))
-	for t, v := range res.MovementIndicator {
-		p.movingSoft[t] = v < release
-	}
-	fastCfg := p.cfg.Movement
-	fastCfg.SlowLagSeconds = 0
-	p.fastInd = align.MovementIndicator(p.eng, fastCfg)
-	movementSpan.End()
-	movementTrace.End()
 	res.Estimates = make([]Estimate, slots)
 	dt := 1 / rate
 	for t := range res.Estimates {
@@ -508,49 +545,66 @@ func (p *Pipeline) Process() *Result {
 		if p.missFrac != nil && t < len(p.missFrac) && p.missFrac[t] >= degradedMissFrac {
 			res.Estimates[t].Degraded = true
 		}
+		if res.DeadlineExceeded {
+			// No movement analysis ran at all: every slot is an unknown.
+			res.Estimates[t].Degraded = true
+		}
 	}
 
-	minLen := int(p.cfg.MinSegmentSeconds * rate)
-	segs := align.Segments(moving, minLen, int(0.3*rate))
-	// Trim each segment to the region where the indicator actually hit
-	// the trigger level (plus a short pad): when the device stops in a
-	// low-SNR spot the indicator may never climb back above the release
-	// level, which would otherwise glue a long static tail onto the
-	// segment and starve its final heading window.
-	pad := int(0.08 * rate)
-	indSm := sigproc.MedianFilter(res.MovementIndicator, 5)
-	for si := range segs {
-		start, end := segs[si][0], segs[si][1]
-		for end-1 > start && indSm[end-1] >= p.cfg.Movement.Threshold {
-			end--
+	if !res.DeadlineExceeded {
+		minLen := int(p.cfg.MinSegmentSeconds * rate)
+		segs := align.Segments(moving, minLen, int(0.3*rate))
+		// Trim each segment to the region where the indicator actually hit
+		// the trigger level (plus a short pad): when the device stops in a
+		// low-SNR spot the indicator may never climb back above the release
+		// level, which would otherwise glue a long static tail onto the
+		// segment and starve its final heading window.
+		pad := int(0.08 * rate)
+		indSm := sigproc.MedianFilter(res.MovementIndicator, 5)
+		for si := range segs {
+			start, end := segs[si][0], segs[si][1]
+			for end-1 > start && indSm[end-1] >= p.cfg.Movement.Threshold {
+				end--
+			}
+			end += pad
+			if end > segs[si][1] {
+				end = segs[si][1]
+			}
+			if end-start >= minLen {
+				segs[si][1] = end
+			}
 		}
-		end += pad
-		if end > segs[si][1] {
-			end = segs[si][1]
-		}
-		if end-start >= minLen {
-			segs[si][1] = end
-		}
-	}
-	// Split segments at sustained trigger-level-static runs: when the
-	// device stops in a channel fade the indicator can sit between the
-	// trigger and release levels, gluing two motions into one segment.
-	// Genuine motion never holds the indicator above the trigger level
-	// for long, so a ≥0.4 s run there marks an interior idle.
-	segs = splitAtInteriorIdles(segs, indSm, p.cfg.Movement.Threshold, int(0.4*rate), minLen)
-	for _, seg := range segs {
-		alignSpan := obs.StartSpan(p.po.alignH)
-		alignTrace := p.cfg.Trace.Start(trace.KindAlign, hop, int64(seg[0]))
-		sr := p.processSegment(seg[0], seg[1], res)
-		alignSpan.End()
-		alignTrace.End()
-		p.cfg.Trace.Emit(trace.KindSegment, hop, int64(sr.Start), int64(sr.End), int64(sr.Kind))
-		res.Segments = append(res.Segments, sr)
-		switch sr.Kind {
-		case MotionTranslate:
-			res.Distance += sr.Distance
-		case MotionRotate:
-			res.RotationAngle += math.Abs(sr.Angle)
+		// Split segments at sustained trigger-level-static runs: when the
+		// device stops in a channel fade the indicator can sit between the
+		// trigger and release levels, gluing two motions into one segment.
+		// Genuine motion never holds the indicator above the trigger level
+		// for long, so a ≥0.4 s run there marks an interior idle.
+		segs = splitAtInteriorIdles(segs, indSm, p.cfg.Movement.Threshold, int(0.4*rate), minLen)
+		for _, seg := range segs {
+			if !res.DeadlineExceeded && p.cfg.hopExpired() {
+				res.DeadlineExceeded = true
+			}
+			if res.DeadlineExceeded {
+				// Out of budget: this segment's motion stays unresolved.
+				// Its slots keep the static placeholder, flagged degraded.
+				for t := seg[0]; t < seg[1] && t < len(res.Estimates); t++ {
+					res.Estimates[t].Degraded = true
+				}
+				continue
+			}
+			alignSpan := obs.StartSpan(p.po.alignH)
+			alignTrace := p.cfg.Trace.Start(trace.KindAlign, hop, int64(seg[0]))
+			sr := p.processSegment(seg[0], seg[1], res)
+			alignSpan.End()
+			alignTrace.End()
+			p.cfg.Trace.Emit(trace.KindSegment, hop, int64(sr.Start), int64(sr.End), int64(sr.Kind))
+			res.Segments = append(res.Segments, sr)
+			switch sr.Kind {
+			case MotionTranslate:
+				res.Distance += sr.Distance
+			case MotionRotate:
+				res.RotationAngle += math.Abs(sr.Angle)
+			}
 		}
 	}
 	p.po.segments.Add(uint64(len(res.Segments)))

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rim/internal/array"
+	"rim/internal/csi"
+	"rim/internal/geom"
+	"rim/internal/obs"
+	"rim/internal/traj"
+)
+
+// pushSeries drives every slot of s through st with PushMaskedCtx and a
+// final Flush, returning all estimates.
+func pushSeries(t *testing.T, st *Streamer, s *csi.Series, ctx context.Context) []Estimate {
+	t.Helper()
+	var out []Estimate
+	snap := make([][][]complex128, s.NumAnts)
+	for a := range snap {
+		snap[a] = make([][]complex128, s.NumTx)
+	}
+	for ti := 0; ti < s.NumSlots(); ti++ {
+		for a := 0; a < s.NumAnts; a++ {
+			for tx := 0; tx < s.NumTx; tx++ {
+				snap[a][tx] = s.H[a][tx][ti]
+			}
+		}
+		es, err := st.PushMaskedCtx(ctx, snap, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, es...)
+	}
+	return append(out, st.Flush()...)
+}
+
+func TestHopDeadlineExpiredEmitsDegraded(t *testing.T) {
+	rate := 100.0
+	arr := array.NewLinear3(spacing)
+	tr := traj.Line(rate, geom.Vec2{X: 10, Y: 0}, 0, 0, 0.8, 0.4)
+	s := buildSeries(t, tr, arr, 11)
+
+	reg := obs.NewRegistry()
+	cfg := streamConfig(arr)
+	cfg.Core.Obs = reg
+	cfg.HopDeadline = time.Nanosecond // every hop is already over budget
+	st, err := NewStreamer(cfg, s.Rate, s.NumAnts, s.NumTx, s.NumSub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests := pushSeries(t, st, s, context.Background())
+	if len(ests) != s.NumSlots() {
+		t.Fatalf("got %d estimates, want %d (deadline must not drop slots)", len(ests), s.NumSlots())
+	}
+	for i, e := range ests {
+		if !e.Degraded {
+			t.Fatalf("estimate %d not degraded despite expired hop deadline", i)
+		}
+	}
+	if got := reg.Counter("rim_hop_deadline_exceeded_total", "").Value(); got == 0 {
+		t.Error("rim_hop_deadline_exceeded_total not incremented")
+	}
+}
+
+func TestHopDeadlineGenerousIsHarmless(t *testing.T) {
+	rate := 100.0
+	arr := array.NewLinear3(spacing)
+	tr := traj.Line(rate, geom.Vec2{X: 10, Y: 0}, 0, 0, 0.8, 0.4)
+	s := buildSeries(t, tr, arr, 11)
+
+	reg := obs.NewRegistry()
+	cfg := streamConfig(arr)
+	cfg.Core.Obs = reg
+	cfg.HopDeadline = time.Hour
+	st, err := NewStreamer(cfg, s.Rate, s.NumAnts, s.NumTx, s.NumSub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests := pushSeries(t, st, s, context.Background())
+	if len(ests) != s.NumSlots() {
+		t.Fatalf("got %d estimates, want %d", len(ests), s.NumSlots())
+	}
+	healthy := 0
+	for _, e := range ests {
+		if !e.Degraded {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		t.Error("a generous deadline must not degrade the stream")
+	}
+	if got := reg.Counter("rim_hop_deadline_exceeded_total", "").Value(); got != 0 {
+		t.Errorf("counter = %d with an hour of budget", got)
+	}
+}
+
+func TestPushMaskedCtxHonorsContextDeadline(t *testing.T) {
+	rate := 100.0
+	arr := array.NewLinear3(spacing)
+	tr := traj.Line(rate, geom.Vec2{X: 10, Y: 0}, 0, 0, 0.8, 0.4)
+	s := buildSeries(t, tr, arr, 11)
+
+	reg := obs.NewRegistry()
+	cfg := streamConfig(arr)
+	cfg.Core.Obs = reg // HopDeadline stays zero: only the ctx bounds the hop
+	st, err := NewStreamer(cfg, s.Rate, s.NumAnts, s.NumTx, s.NumSub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	snap := make([][][]complex128, s.NumAnts)
+	for a := range snap {
+		snap[a] = make([][]complex128, s.NumTx)
+	}
+	for ti := 0; ti < s.NumSlots(); ti++ {
+		for a := 0; a < s.NumAnts; a++ {
+			for tx := 0; tx < s.NumTx; tx++ {
+				snap[a][tx] = s.H[a][tx][ti]
+			}
+		}
+		if _, err := st.PushMaskedCtx(ctx, snap, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("rim_hop_deadline_exceeded_total", "").Value(); got == 0 {
+		t.Error("expired ctx deadline must count hop overruns even with HopDeadline=0")
+	}
+}

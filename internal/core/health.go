@@ -34,6 +34,21 @@ func copyHealthErr(err error) error {
 	return &healthError{msg: err.Error(), analysis: errors.Is(err, ErrAnalysis)}
 }
 
+// Clone returns a deep copy of the snapshot: the DeadAntennas slice and
+// the error value are detached, so a cached copy (a health endpoint, a
+// session registry) can be read and re-handed-out concurrently however the
+// original's holder mutates or republishes it. Health snapshots returned
+// by Streamer.Health are already detached from the stream; Clone is for
+// the second hop, where one snapshot fans out to multiple readers.
+func (h Health) Clone() Health {
+	c := h
+	if h.DeadAntennas != nil {
+		c.DeadAntennas = append([]int(nil), h.DeadAntennas...)
+	}
+	c.LastError = copyHealthErr(h.LastError)
+	return c
+}
+
 // HealthOfSeries derives a batch-mode health surface from a collected
 // series: slot count and the fraction of (antenna, slot) samples the
 // receiver lost or rejected. Batch binaries without a Streamer serve this

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestHealthCloneDetachesMutableState(t *testing.T) {
+	orig := Health{
+		Slots:               10,
+		DeadAntennas:        []int{1, 2},
+		ConsecutiveFailures: 3,
+		LastError:           &healthError{msg: "boom", analysis: true},
+	}
+	c := orig.Clone()
+	c.DeadAntennas[0] = 99
+	if orig.DeadAntennas[0] != 1 {
+		t.Error("mutating the clone's DeadAntennas reached the original")
+	}
+	if !errors.Is(c.LastError, ErrAnalysis) {
+		t.Error("clone lost the ErrAnalysis classification")
+	}
+	if c.LastError == orig.LastError {
+		t.Error("clone shares the original's error value")
+	}
+	var zero Health
+	if z := zero.Clone(); z.DeadAntennas != nil || z.LastError != nil {
+		t.Error("zero-value clone must stay zero")
+	}
+}
+
+// TestHealthCloneConcurrentReaders is the race-fix regression: one
+// goroutine serializes clones (the /healthz path) while another mutates
+// the source under its own lock. Run under -race this fails if Clone ever
+// shares mutable state.
+func TestHealthCloneConcurrentReaders(t *testing.T) {
+	var mu sync.Mutex
+	h := Health{DeadAntennas: []int{0}}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			mu.Lock()
+			h.DeadAntennas = append(h.DeadAntennas[:0], i%3)
+			h.LastError = &healthError{msg: "x", analysis: i%2 == 0}
+			mu.Unlock()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			mu.Lock()
+			c := h.Clone()
+			mu.Unlock()
+			// Reads outside the lock must be safe on the clone.
+			_ = len(c.DeadAntennas)
+			if c.LastError != nil {
+				_ = c.LastError.Error()
+			}
+		}
+		close(stop)
+	}()
+	wg.Wait()
+}

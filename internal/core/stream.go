@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -48,6 +49,15 @@ type StreamConfig struct {
 	// incremental default is bit-for-bit equivalent and much cheaper per
 	// hop (see DESIGN.md, "Parallel & incremental TRRS engine").
 	Recompute bool
+	// HopDeadline bounds one sliding-window analysis hop. A hop that
+	// exhausts its budget stops at the next stage boundary and emits
+	// degraded placeholder estimates for the slots it did not resolve —
+	// the stream never stalls on one slow window, it reports "unknown"
+	// and keeps going. Exceeded deadlines are counted in
+	// rim_hop_deadline_exceeded_total. Zero (the default) disables the
+	// bound. PushMaskedCtx additionally honors its context's deadline,
+	// whichever is sooner.
+	HopDeadline time.Duration
 }
 
 // Health is the stream's data-quality surface: instead of silently
@@ -141,6 +151,9 @@ type Streamer struct {
 	finalized int
 	// pending counts slots accumulated since the last analysis.
 	pending int
+	// hopFactor stretches the analysis hop to hopFactor×hop slots — the
+	// load-shedding "coarser hop" degrade mode (see SetHopFactor).
+	hopFactor int
 
 	// Health accounting.
 	samples      int
@@ -192,6 +205,7 @@ type streamObs struct {
 	degraded *obs.Counter   // rim_stream_estimates_degraded_total
 	failures *obs.Counter   // rim_stream_analysis_failures_total
 	fallback *obs.Counter   // rim_stream_fallback_hops_total
+	deadline *obs.Counter   // rim_hop_deadline_exceeded_total
 	dead     *obs.Gauge     // rim_stream_dead_antennas
 	ingestH  *obs.Histogram // rim_ingest_seconds
 	hopH     *obs.Histogram // rim_stream_hop_seconds
@@ -211,6 +225,7 @@ func newStreamObs(reg *obs.Registry) streamObs {
 		degraded: reg.Counter("rim_stream_estimates_degraded_total", "finalized estimates emitted with the Degraded flag"),
 		failures: reg.Counter("rim_stream_analysis_failures_total", "sliding-window analysis failures"),
 		fallback: reg.Counter("rim_stream_fallback_hops_total", "analysis hops run on a reduced sub-array"),
+		deadline: reg.Counter("rim_hop_deadline_exceeded_total", "analysis hops that exceeded their deadline and emitted degraded placeholders"),
 		dead:     reg.Gauge("rim_stream_dead_antennas", "antennas currently considered dead"),
 		ingestH:  reg.Timer("rim_ingest_seconds", "per-snapshot ingest (validate + commit) latency"),
 		hopH:     reg.Timer("rim_stream_hop_seconds", "sliding-window analysis latency per hop"),
@@ -262,15 +277,16 @@ func NewStreamer(cfg StreamConfig, rate float64, numAnts, numTx, numSub int) (*S
 		cfg.SpanSeconds = 3 * w
 	}
 	st := &Streamer{
-		cfg:     cfg,
-		rate:    rate,
-		numAnts: numAnts,
-		numTx:   numTx,
-		numSub:  numSub,
-		span:    int(cfg.SpanSeconds * rate),
-		hop:     int(cfg.HopSeconds * rate),
-		guard:   int(math.Ceil(w * rate)),
-		wSlots:  windowSlots(w, rate),
+		cfg:       cfg,
+		rate:      rate,
+		numAnts:   numAnts,
+		numTx:     numTx,
+		numSub:    numSub,
+		span:      int(cfg.SpanSeconds * rate),
+		hop:       int(cfg.HopSeconds * rate),
+		guard:     int(math.Ceil(w * rate)),
+		wSlots:    windowSlots(w, rate),
+		hopFactor: 1,
 	}
 	st.log = cfg.Core.logger()
 	st.ob = newStreamObs(cfg.Core.Obs)
@@ -381,6 +397,40 @@ func (st *Streamer) Push(snapshot [][][]complex128) ([]Estimate, error) {
 // wrapped in ErrAnalysis (with degraded placeholder estimates), recorded
 // in Health, and leave the stream usable.
 func (st *Streamer) PushMasked(snapshot [][][]complex128, missing []bool) ([]Estimate, error) {
+	return st.PushMaskedCtx(context.Background(), snapshot, missing)
+}
+
+// SetHopFactor stretches (f > 1) or restores (f = 1) the analysis hop to
+// f×HopSeconds — the "degrade to a coarser hop" overload response: an
+// overloaded host halves a session's analysis CPU by hopping half as
+// often, trading output latency for throughput while keeping the estimate
+// stream contiguous. f is clamped to [1, 4] (beyond 4 the widened hop
+// would outgrow the analysis span). Goroutine-safe.
+func (st *Streamer) SetHopFactor(f int) {
+	if f < 1 {
+		f = 1
+	}
+	if f > 4 {
+		f = 4
+	}
+	st.mu.Lock()
+	st.hopFactor = f
+	st.mu.Unlock()
+}
+
+// HopFactor returns the current hop stretch factor.
+func (st *Streamer) HopFactor() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.hopFactor
+}
+
+// PushMaskedCtx is PushMasked with an analysis budget: when the snapshot
+// completes a hop, the sliding-window analysis honors ctx's deadline (and
+// StreamConfig.HopDeadline, whichever is sooner) at its stage boundaries,
+// emitting degraded placeholders for whatever it could not resolve in
+// time. ctx does not bound the ingest itself, which is O(antennas) cheap.
+func (st *Streamer) PushMaskedCtx(ctx context.Context, snapshot [][][]complex128, missing []bool) ([]Estimate, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	// Phase 1: full validation, no mutation (a snapshot rejected at
@@ -482,11 +532,11 @@ func (st *Streamer) PushMasked(snapshot [][][]complex128, missing []bool) ([]Est
 	}
 
 	st.pending++
-	if st.pending < st.hop || st.bufLen() < st.guard*2 {
+	if st.pending < st.hop*st.hopFactor || st.bufLen() < st.guard*2 {
 		return nil, nil
 	}
 	st.pending = 0
-	return st.analyze(false)
+	return st.analyze(false, ctx)
 }
 
 // rowsShapedAndSane reports whether a provided substitute has full shape
@@ -586,7 +636,7 @@ func (st *Streamer) Flush() []Estimate {
 	if st.bufLen() == 0 {
 		return nil
 	}
-	out, _ := st.analyze(true)
+	out, _ := st.analyze(true, context.Background())
 	return out
 }
 
@@ -620,8 +670,11 @@ func (st *Streamer) aliveAntennas() []int {
 // end, when flushing). When antennas have died it falls back to the
 // surviving sub-array; when analysis is impossible or fails it emits
 // degraded placeholders so the output stays contiguous, records the
-// failure in Health, and returns the error wrapped in ErrAnalysis.
-func (st *Streamer) analyze(flush bool) ([]Estimate, error) {
+// failure in Health, and returns the error wrapped in ErrAnalysis. The hop
+// runs under a deadline (the sooner of cfg.HopDeadline from now and ctx's
+// deadline, if either is set); a hop that exceeds it emits degraded
+// placeholders for the unresolved slots instead of stalling the stream.
+func (st *Streamer) analyze(flush bool, ctx context.Context) ([]Estimate, error) {
 	hopSpan := obs.StartSpan(st.ob.hopH)
 	defer hopSpan.End()
 	n := st.bufLen()
@@ -644,15 +697,33 @@ func (st *Streamer) analyze(flush bool) ([]Estimate, error) {
 		st.ob.fallback.Inc()
 	}
 
+	// Hop budget: the sooner of the configured per-hop deadline and the
+	// caller context's deadline. Zero values leave the hop unbounded.
+	var dl time.Time
+	if st.cfg.HopDeadline > 0 {
+		dl = time.Now().Add(st.cfg.HopDeadline)
+	}
+	if ctx != nil {
+		if cdl, ok := ctx.Deadline(); ok && (dl.IsZero() || cdl.Before(dl)) {
+			dl = cdl
+		}
+	}
+
 	var res *Result
 	var err error
 	if len(alive) < 2 {
 		err = fmt.Errorf("%w: only %d live antenna(s), need 2 for alignment", ErrAnalysis, len(alive))
 	} else {
-		res, err = st.analyzeAlive(alive, hop)
+		res, err = st.analyzeAlive(alive, hop, ctx, dl)
 		if err != nil {
 			err = fmt.Errorf("%w: %v", ErrAnalysis, err)
 		}
+	}
+	if res != nil && res.DeadlineExceeded {
+		st.ob.deadline.Inc()
+		st.log.Warn("hop deadline exceeded; emitted degraded placeholders",
+			"hop", hop, "budget", st.cfg.HopDeadline)
+		st.flight.Offer(trace.ReasonHopDeadline, hop, st.healthLocked())
 	}
 	if err != nil {
 		st.failures++
@@ -750,11 +821,13 @@ func (st *Streamer) analyze(flush bool) ([]Estimate, error) {
 // (only the rows invalidated since the last hop are recomputed); with
 // Recompute it rebuilds everything from the raw buffer, the seed's
 // reference behavior.
-func (st *Streamer) analyzeAlive(alive []int, hop int64) (*Result, error) {
+func (st *Streamer) analyzeAlive(alive []int, hop int64, ctx context.Context, dl time.Time) (*Result, error) {
 	cfg := st.cfg.Core
 	// Stamp every trace event the per-hop pipeline emits with this hop's
 	// causal ID, and keep the incremental engine's row events in sync.
 	cfg.traceHop = hop
+	cfg.hopDeadline = dl
+	cfg.hopCtx = ctx
 	if st.inc != nil {
 		st.inc.SetHop(hop)
 	}

@@ -25,10 +25,19 @@ const (
 	// ReasonDegradedEstimates: an analysis window emitted degraded
 	// (substituted/unreliable) estimates.
 	ReasonDegradedEstimates = "degraded_estimates"
+	// ReasonHopDeadline: a streaming hop exceeded its analysis deadline
+	// and emitted degraded placeholders for the unresolved slots.
+	ReasonHopDeadline = "hop_deadline"
+	// ReasonSessionQuarantined: a session supervisor gave up restarting a
+	// flapping session and quarantined it.
+	ReasonSessionQuarantined = "session_quarantined"
 )
 
 // Reasons lists the trigger reasons in ordinal order.
-var Reasons = []string{ReasonAnalysisFailure, ReasonDeadAntenna, ReasonDegradedEstimates}
+var Reasons = []string{
+	ReasonAnalysisFailure, ReasonDeadAntenna, ReasonDegradedEstimates,
+	ReasonHopDeadline, ReasonSessionQuarantined,
+}
 
 func reasonOrdinal(reason string) int64 {
 	for i, r := range Reasons {

@@ -1,0 +1,175 @@
+package session
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's tri-state.
+type BreakerState int
+
+const (
+	// BreakerClosed: normal operation, failures are being counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the failure rate tripped the breaker; the daemon is in
+	// degraded mode (new sessions shed, existing ones coarsened) until the
+	// cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; the next outcome decides —
+	// a success re-closes the breaker, a failure re-opens it.
+	BreakerHalfOpen
+)
+
+// String returns the state's metric/log spelling.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig parameterizes the global circuit breaker.
+type BreakerConfig struct {
+	// Window is the sliding interval failures are counted over (default 10s).
+	Window time.Duration
+	// FailureThreshold opens the breaker when this many failures land
+	// inside Window (default 8).
+	FailureThreshold int
+	// Cooldown is how long the breaker stays open before probing
+	// half-open (default 5s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 8
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	return c
+}
+
+// Breaker is the daemon-wide circuit breaker: session-level failures
+// (restarts, quarantines) feed it, and when too many land inside the
+// window it flips the daemon into degraded mode — admission sheds new
+// sessions and Degrade-policy sessions coarsen their hop — until a
+// cooldown plus one clean probe closes it again. Goroutine-safe; the zero
+// value is unusable, construct with NewBreaker. A nil *Breaker is valid
+// everywhere and reports permanently-closed.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time // test seam
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    []time.Time // failure timestamps inside the window (ring-ish, pruned on use)
+	openedAt time.Time
+	onChange func(BreakerState) // metric hook, may be nil
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), now: time.Now}
+}
+
+// SetOnChange installs a state-transition hook (e.g. a gauge setter). Must
+// be called before the breaker is shared.
+func (b *Breaker) SetOnChange(fn func(BreakerState)) {
+	if b == nil {
+		return
+	}
+	b.onChange = fn
+}
+
+// Failure records one failure, possibly tripping the breaker.
+func (b *Breaker) Failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.tickLocked(now)
+	switch b.state {
+	case BreakerHalfOpen:
+		// The probe failed: straight back to open.
+		b.transitionLocked(BreakerOpen, now)
+	case BreakerClosed:
+		b.fails = append(b.fails, now)
+		b.pruneLocked(now)
+		if len(b.fails) >= b.cfg.FailureThreshold {
+			b.transitionLocked(BreakerOpen, now)
+		}
+	}
+}
+
+// Success records one healthy outcome; in half-open it closes the breaker.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tickLocked(b.now())
+	if b.state == BreakerHalfOpen {
+		b.transitionLocked(BreakerClosed, b.now())
+	}
+}
+
+// State returns the current state, applying any due open→half-open
+// transition first.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tickLocked(b.now())
+	return b.state
+}
+
+// Degraded reports whether the daemon should run in degraded mode (the
+// breaker is open).
+func (b *Breaker) Degraded() bool { return b.State() == BreakerOpen }
+
+// tickLocked advances time-driven transitions: an open breaker whose
+// cooldown elapsed becomes half-open.
+func (b *Breaker) tickLocked(now time.Time) {
+	if b.state == BreakerOpen && now.Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.transitionLocked(BreakerHalfOpen, now)
+	}
+}
+
+func (b *Breaker) pruneLocked(now time.Time) {
+	cut := now.Add(-b.cfg.Window)
+	i := 0
+	for i < len(b.fails) && b.fails[i].Before(cut) {
+		i++
+	}
+	if i > 0 {
+		b.fails = append(b.fails[:0], b.fails[i:]...)
+	}
+}
+
+func (b *Breaker) transitionLocked(s BreakerState, now time.Time) {
+	if b.state == s {
+		return
+	}
+	b.state = s
+	if s == BreakerOpen {
+		b.openedAt = now
+		b.fails = b.fails[:0]
+	}
+	if b.onChange != nil {
+		b.onChange(s)
+	}
+}

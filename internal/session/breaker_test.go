@@ -1,0 +1,96 @@
+package session
+
+import (
+	"testing"
+	"time"
+)
+
+// testBreaker returns a breaker on a fake clock the test controls.
+func testBreaker(cfg BreakerConfig) (*Breaker, *time.Time) {
+	b := NewBreaker(cfg)
+	now := time.Unix(1000, 0)
+	b.now = func() time.Time { return now }
+	return b, &now
+}
+
+func TestBreakerTripsOnWindowedFailures(t *testing.T) {
+	b, now := testBreaker(BreakerConfig{Window: 10 * time.Second, FailureThreshold: 3, Cooldown: 5 * time.Second})
+	if b.State() != BreakerClosed || b.Degraded() {
+		t.Fatal("fresh breaker must be closed")
+	}
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("below threshold must stay closed")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen || !b.Degraded() {
+		t.Fatal("threshold failures inside the window must open the breaker")
+	}
+	_ = now
+}
+
+func TestBreakerWindowPrunesOldFailures(t *testing.T) {
+	b, now := testBreaker(BreakerConfig{Window: 10 * time.Second, FailureThreshold: 3, Cooldown: 5 * time.Second})
+	b.Failure()
+	b.Failure()
+	*now = now.Add(11 * time.Second) // both slide out of the window
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("failures outside the window must not count")
+	}
+}
+
+func TestBreakerCooldownAndProbe(t *testing.T) {
+	b, now := testBreaker(BreakerConfig{Window: 10 * time.Second, FailureThreshold: 1, Cooldown: 5 * time.Second})
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker must open")
+	}
+	*now = now.Add(6 * time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("cooldown elapsed must probe half-open")
+	}
+	// A failed probe goes straight back to open…
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("half-open failure must reopen")
+	}
+	// …and a clean probe after the next cooldown closes it.
+	*now = now.Add(6 * time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("second cooldown must probe half-open again")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || b.Degraded() {
+		t.Fatal("half-open success must close")
+	}
+}
+
+func TestBreakerStateChangeHook(t *testing.T) {
+	b, now := testBreaker(BreakerConfig{Window: 10 * time.Second, FailureThreshold: 1, Cooldown: 5 * time.Second})
+	var seen []BreakerState
+	b.SetOnChange(func(s BreakerState) { seen = append(seen, s) })
+	b.Failure()
+	*now = now.Add(6 * time.Second)
+	b.Success() // ticks to half-open, then closes
+	want := []BreakerState{BreakerOpen, BreakerHalfOpen, BreakerClosed}
+	if len(seen) != len(want) {
+		t.Fatalf("transitions = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("transition %d = %v, want %v", i, seen[i], want[i])
+		}
+	}
+}
+
+func TestNilBreakerIsPermanentlyClosed(t *testing.T) {
+	var b *Breaker
+	b.Failure()
+	b.Success()
+	b.SetOnChange(func(BreakerState) {})
+	if b.State() != BreakerClosed || b.Degraded() {
+		t.Fatal("nil breaker must report closed")
+	}
+}

@@ -1,0 +1,119 @@
+package session
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rim/internal/core"
+)
+
+func sampleCheckpoint(id string) *Checkpoint {
+	return &Checkpoint{
+		ID:          id,
+		Spec:        Spec{Rate: 100, NumAnts: 3, NumTx: 3, NumSub: 30},
+		SavedUnixNs: 12345,
+		Stream: &core.StreamCheckpoint{
+			Rate: 100, NumAnts: 3, NumTx: 3, NumSub: 30,
+		},
+	}
+}
+
+func TestCheckpointEncodeDecodeRoundTrip(t *testing.T) {
+	cp := sampleCheckpoint("walker-7")
+	var buf bytes.Buffer
+	if err := EncodeCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != cp.ID || got.Spec != cp.Spec || got.SavedUnixNs != cp.SavedUnixNs {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, cp)
+	}
+	if got.Stream == nil || got.Stream.NumAnts != 3 {
+		t.Fatalf("stream state lost: %+v", got.Stream)
+	}
+}
+
+func TestCheckpointDecodeRejectsCorruption(t *testing.T) {
+	cp := sampleCheckpoint("walker-7")
+	var buf bytes.Buffer
+	if err := EncodeCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	flip := append([]byte(nil), good...)
+	flip[len(flip)-1] ^= 0xFF // payload corruption → checksum mismatch
+	if _, err := DecodeCheckpoint(bytes.NewReader(flip)); err == nil {
+		t.Error("corrupted payload accepted")
+	}
+
+	if _, err := DecodeCheckpoint(bytes.NewReader(good[:len(good)-3])); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	if _, err := DecodeCheckpoint(bytes.NewReader(good[:10])); err == nil {
+		t.Error("truncated header accepted")
+	}
+
+	magic := append([]byte(nil), good...)
+	magic[0] = 'X'
+	if _, err := DecodeCheckpoint(bytes.NewReader(magic)); err == nil {
+		t.Error("bad magic accepted")
+	}
+
+	ver := append([]byte(nil), good...)
+	ver[8] = 0xEE // version field
+	if _, err := DecodeCheckpoint(bytes.NewReader(ver)); err == nil {
+		t.Error("unknown version accepted")
+	}
+}
+
+func TestSaveLoadCheckpointDir(t *testing.T) {
+	dir := t.TempDir()
+	for _, id := range []string{"a", "b", "weird/../id"} {
+		if _, err := SaveCheckpoint(dir, sampleCheckpoint(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sanitized names stay inside dir.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".rimckpt") {
+			t.Errorf("unexpected file %q", e.Name())
+		}
+	}
+
+	// A corrupt file is skipped with a reported error, not fatal.
+	if err := os.WriteFile(filepath.Join(dir, "ckpt-junk.rimckpt"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cps, errs := LoadCheckpointDir(dir)
+	if len(cps) != 3 {
+		t.Fatalf("loaded %d checkpoints, want 3", len(cps))
+	}
+	if len(errs) != 1 {
+		t.Fatalf("corrupt file errors = %v, want exactly one", errs)
+	}
+
+	if err := RemoveCheckpoint(dir, "a"); err != nil {
+		t.Fatal(err)
+	}
+	cps, _ = LoadCheckpointDir(dir)
+	if len(cps) != 2 {
+		t.Fatalf("after remove, %d checkpoints remain, want 2", len(cps))
+	}
+
+	// A missing directory is an empty result, not an error.
+	cps, errs = LoadCheckpointDir(filepath.Join(dir, "nope"))
+	if len(cps) != 0 || len(errs) != 0 {
+		t.Fatalf("missing dir: cps=%v errs=%v", cps, errs)
+	}
+}

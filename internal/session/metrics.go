@@ -1,0 +1,62 @@
+// Package session is the multi-session substrate of the rimserved daemon:
+// a striped-shard registry of supervised tracking sessions, each owning a
+// core.Streamer behind a bounded frame queue with an explicit overload
+// policy. Sessions that panic or flap are restarted with capped
+// exponential backoff and quarantined when restarts stop helping; a global
+// circuit breaker sheds new sessions when the daemon itself is unhealthy;
+// periodic checkpoints make a daemon kill recoverable.
+package session
+
+import "rim/internal/obs"
+
+// Metrics bundles the session layer's metric handles, resolved once so the
+// per-frame path never touches the registry map. Every handle is nil-safe
+// (obs no-ops on nil receivers), so a zero Metrics disables the whole
+// surface.
+type Metrics struct {
+	Active      *obs.Gauge   // rim_sessions_active
+	Opened      *obs.Counter // rim_sessions_opened_total
+	Closed      *obs.Counter // rim_sessions_closed_total
+	Shed        *obs.Counter // rim_shed_total
+	Restarts    *obs.Counter // rim_session_restarts_total
+	Quarantined *obs.Counter // rim_session_quarantined_total
+	Panics      *obs.Counter // rim_session_panics_total
+
+	Frames     *obs.Counter   // rim_session_frames_total
+	Dropped    *obs.Counter   // rim_session_frames_dropped_total
+	Rejected   *obs.Counter   // rim_session_frames_rejected_total
+	Degraded   *obs.Counter   // rim_session_degrade_transitions_total
+	QueueDepth *obs.Gauge     // rim_session_queue_depth
+	QueueWait  *obs.Histogram // rim_session_queue_wait_seconds
+
+	BreakerState   *obs.Gauge   // rim_breaker_state
+	Checkpoints    *obs.Counter // rim_checkpoints_total
+	CheckpointErrs *obs.Counter // rim_checkpoint_errors_total
+	Restores       *obs.Counter // rim_session_restores_total
+}
+
+// NewMetrics registers the session-layer metrics on reg (nil reg yields a
+// fully no-op bundle).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Active:      reg.Gauge("rim_sessions_active", "sessions currently admitted or running"),
+		Opened:      reg.Counter("rim_sessions_opened_total", "sessions admitted by the registry"),
+		Closed:      reg.Counter("rim_sessions_closed_total", "sessions closed (graceful or quarantine)"),
+		Shed:        reg.Counter("rim_shed_total", "session opens shed by admission control or the circuit breaker"),
+		Restarts:    reg.Counter("rim_session_restarts_total", "supervisor restarts of failed sessions"),
+		Quarantined: reg.Counter("rim_session_quarantined_total", "sessions quarantined after restarts stopped helping"),
+		Panics:      reg.Counter("rim_session_panics_total", "panics recovered inside session workers"),
+
+		Frames:     reg.Counter("rim_session_frames_total", "frames accepted into session queues"),
+		Dropped:    reg.Counter("rim_session_frames_dropped_total", "frames dropped from the front of full queues (drop-oldest)"),
+		Rejected:   reg.Counter("rim_session_frames_rejected_total", "frames rejected at full queues (reject policy)"),
+		Degraded:   reg.Counter("rim_session_degrade_transitions_total", "queue-pressure transitions into coarser-hop degraded mode"),
+		QueueDepth: reg.Gauge("rim_session_queue_depth", "frames buffered across all session queues"),
+		QueueWait:  reg.Timer("rim_session_queue_wait_seconds", "time frames spend queued before the worker picks them up"),
+
+		BreakerState:   reg.Gauge("rim_breaker_state", "global circuit breaker state (0 closed, 1 open, 2 half-open)"),
+		Checkpoints:    reg.Counter("rim_checkpoints_total", "session checkpoints captured"),
+		CheckpointErrs: reg.Counter("rim_checkpoint_errors_total", "session checkpoint captures or writes that failed"),
+		Restores:       reg.Counter("rim_session_restores_total", "sessions restored from a checkpoint"),
+	}
+}

@@ -1,0 +1,155 @@
+package session
+
+import (
+	"sync"
+	"time"
+)
+
+// Policy selects what a session does with a new frame when its bounded
+// queue is full. See DESIGN.md, "Session lifecycle & overload".
+type Policy int
+
+const (
+	// DropOldest evicts the oldest queued frame to admit the new one:
+	// freshest-data-wins, the right default for live tracking where a
+	// stale CSI snapshot is worth less than the current one. The evicted
+	// slot reaches the streamer as a missing sample, so the loss is
+	// accounted, not silent.
+	DropOldest Policy = iota
+	// Reject refuses the new frame and tells the producer, for transports
+	// that can retransmit or back off at the source.
+	Reject
+	// Degrade admits like DropOldest but additionally stretches the
+	// session's analysis hop (core.Streamer.SetHopFactor) while the queue
+	// stays above its high watermark, shedding analysis CPU instead of
+	// data until pressure clears.
+	Degrade
+)
+
+// String returns the policy's flag spelling.
+func (p Policy) String() string {
+	switch p {
+	case DropOldest:
+		return "drop-oldest"
+	case Reject:
+		return "reject"
+	case Degrade:
+		return "degrade"
+	}
+	return "unknown"
+}
+
+// ParsePolicy parses the flag spelling of a Policy.
+func ParsePolicy(s string) (Policy, bool) {
+	switch s {
+	case "drop-oldest":
+		return DropOldest, true
+	case "reject":
+		return Reject, true
+	case "degrade":
+		return Degrade, true
+	}
+	return DropOldest, false
+}
+
+// frame is one queued CSI snapshot. The slices are owned by the queue once
+// pushed (producers must not reuse them).
+type frame struct {
+	snap    [][][]complex128
+	missing []bool
+	enq     time.Time
+}
+
+// frameQueue is a bounded MPSC ring of frames: producers push under the
+// overload policy, one session worker blocks on pop. Closing wakes the
+// worker after the remaining frames drain.
+type frameQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []frame
+	head   int // index of the oldest frame
+	n      int // frames queued
+	closed bool
+}
+
+func newFrameQueue(capacity int) *frameQueue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &frameQueue{buf: make([]frame, capacity)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues f. When the queue is full: with dropOldest it evicts the
+// oldest frame (returning evicted=true), otherwise it refuses f
+// (accepted=false). Pushing to a closed queue refuses.
+func (q *frameQueue) push(f frame, dropOldest bool) (accepted, evicted bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false, false
+	}
+	if q.n == len(q.buf) {
+		if !dropOldest {
+			return false, false
+		}
+		q.buf[q.head] = frame{}
+		q.head = (q.head + 1) % len(q.buf)
+		q.n--
+		evicted = true
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = f
+	q.n++
+	q.cond.Signal()
+	return true, evicted
+}
+
+// pop blocks until a frame is available or the queue is closed and
+// drained, in which case ok is false.
+func (q *frameQueue) pop() (f frame, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.n == 0 {
+		return frame{}, false
+	}
+	f = q.buf[q.head]
+	q.buf[q.head] = frame{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return f, true
+}
+
+// close marks the queue closed; queued frames remain poppable. Idempotent.
+func (q *frameQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// drain discards all queued frames (quarantine path: the worker is gone,
+// nobody will pop) and returns how many were discarded.
+func (q *frameQueue) drain() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := q.n
+	for i := 0; i < n; i++ {
+		q.buf[(q.head+i)%len(q.buf)] = frame{}
+	}
+	q.head, q.n = 0, 0
+	return n
+}
+
+// depth returns the current queue occupancy.
+func (q *frameQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// capacity returns the fixed queue size.
+func (q *frameQueue) capacity() int { return len(q.buf) }

@@ -1,0 +1,97 @@
+package session
+
+import (
+	"testing"
+	"time"
+)
+
+func qframe(n int) frame {
+	return frame{snap: make([][][]complex128, n), enq: time.Now()}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := newFrameQueue(4)
+	for i := 1; i <= 3; i++ {
+		if ok, ev := q.push(qframe(i), false); !ok || ev {
+			t.Fatalf("push %d: accepted=%v evicted=%v", i, ok, ev)
+		}
+	}
+	for i := 1; i <= 3; i++ {
+		f, ok := q.pop()
+		if !ok || len(f.snap) != i {
+			t.Fatalf("pop %d: ok=%v len=%d", i, ok, len(f.snap))
+		}
+	}
+}
+
+func TestQueueRejectWhenFull(t *testing.T) {
+	q := newFrameQueue(2)
+	q.push(qframe(1), false)
+	q.push(qframe(2), false)
+	if ok, _ := q.push(qframe(3), false); ok {
+		t.Fatal("push into a full queue without drop-oldest must be rejected")
+	}
+	if d := q.depth(); d != 2 {
+		t.Fatalf("depth = %d after rejected push", d)
+	}
+}
+
+func TestQueueDropOldestEvictsFront(t *testing.T) {
+	q := newFrameQueue(2)
+	q.push(qframe(1), true)
+	q.push(qframe(2), true)
+	if ok, ev := q.push(qframe(3), true); !ok || !ev {
+		t.Fatalf("drop-oldest push: accepted=%v evicted=%v", ok, ev)
+	}
+	f, _ := q.pop()
+	if len(f.snap) != 2 {
+		t.Fatalf("front is frame %d, want 2 (frame 1 evicted)", len(f.snap))
+	}
+}
+
+func TestQueueCloseUnblocksPop(t *testing.T) {
+	q := newFrameQueue(2)
+	done := make(chan bool)
+	go func() {
+		_, ok := q.pop()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("pop on a closed empty queue must report !ok")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop did not unblock on close")
+	}
+	// close is idempotent and push after close is refused.
+	q.close()
+	if ok, _ := q.push(qframe(1), true); ok {
+		t.Fatal("push after close must be refused")
+	}
+}
+
+func TestQueueDrainAfterClose(t *testing.T) {
+	q := newFrameQueue(8)
+	for i := 0; i < 5; i++ {
+		q.push(qframe(1), false)
+	}
+	q.close()
+	// A closed queue still pops its backlog before reporting !ok.
+	got := 0
+	for {
+		_, ok := q.pop()
+		if !ok {
+			break
+		}
+		got++
+	}
+	if got != 5 {
+		t.Fatalf("drained %d frames after close, want 5", got)
+	}
+	if n := q.drain(); n != 0 {
+		t.Fatalf("drain on emptied queue = %d", n)
+	}
+}
