@@ -12,7 +12,7 @@
 //	          [-policy drop-oldest|reject|degrade]
 //	          [-hop-deadline 0] [-span 3] [-hop 0.5]
 //	          [-checkpoint-dir dir] [-checkpoint-every 5s]
-//	          [-postmortem-out dir]
+//	          [-postmortem-out dir] [-fusion off|particle|eskf]
 //
 // On SIGINT/SIGTERM the daemon drains every session, persists final
 // checkpoints and exits; on the next start it restores them and resumes.
@@ -37,6 +37,7 @@ import (
 	"rim/internal/array"
 	"rim/internal/core"
 	"rim/internal/experiments"
+	"rim/internal/fusion"
 	"rim/internal/obs"
 	"rim/internal/obs/trace"
 	"rim/internal/session"
@@ -78,6 +79,7 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "directory for session checkpoints (enables crash-restart)")
 	ckptEvery := flag.Duration("checkpoint-every", 5*time.Second, "checkpoint persistence interval")
 	pmOut := flag.String("postmortem-out", "", "directory flight-recorder postmortem bundles are written to")
+	fusionName := flag.String("fusion", "off", "per-session fusion backend: off, particle, eskf (fused poses appear in /sessions)")
 	flag.Parse()
 
 	policy, ok := session.ParsePolicy(*policyName)
@@ -85,10 +87,27 @@ func main() {
 		fatal("unknown -policy", *policyName)
 	}
 
+	var fusionCfg *fusion.Config
+	if *fusionName != "off" {
+		backend, ok := fusion.ParseBackend(*fusionName)
+		if !ok {
+			fatal("unknown -fusion backend", *fusionName)
+		}
+		fc := fusion.DefaultConfig(1)
+		fc.Backend = backend
+		fusionCfg = &fc
+	}
+
 	log := obs.NewTextLogger(os.Stderr, slog.LevelInfo)
 	obs.SetLogger(log)
 	reg := obs.NewRegistry()
 	rec := trace.NewRecorder(0)
+	if fusionCfg != nil {
+		// Per-session backends share the process registry/recorder so
+		// rim_fusion_* counters and KindFusionStep events cover the fleet.
+		fusionCfg.Obs = reg
+		fusionCfg.Trace = rec
+	}
 	breaker := session.NewBreaker(session.BreakerConfig{})
 
 	var registry *session.Registry
@@ -158,6 +177,7 @@ func main() {
 			Metrics:          session.NewMetrics(reg),
 			Flight:           quarantineFlight,
 			Log:              log,
+			Fusion:           fusionCfg,
 		},
 	})
 	if err != nil {

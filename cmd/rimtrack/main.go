@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	rimtrack [-ap 0] [-seed 1] [-speed 0.5] [-fused] [-loss 0.3] [-dead-ant 2]
+//	rimtrack [-ap 0] [-seed 1] [-speed 0.5] [-fused] [-backend particle|eskf]
+//	         [-loss 0.3] [-dead-ant 2]
 //	         [-debug-addr :6060] [-debug-linger 30s]
 //	         [-trace-out trace.json] [-postmortem-out dir]
 //
@@ -47,7 +48,8 @@ func main() {
 	apID := flag.Int("ap", 0, "AP location id (0-6, see Fig. 10)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	speed := flag.Float64("speed", 0.5, "cart speed, m/s")
-	fused := flag.Bool("fused", false, "fuse RIM distance with gyro heading + particle filter (Fig. 21) instead of pure RIM")
+	fused := flag.Bool("fused", false, "fuse RIM distance with gyro heading + a fusion backend (Fig. 21) instead of pure RIM")
+	backendName := flag.String("backend", "particle", "fusion backend for -fused: particle (map-constrained filter) or eskf (error-state Kalman + ZUPT)")
 	lossFrac := flag.Float64("loss", 0, "inject Gilbert–Elliott bursty packet loss with this mean loss fraction")
 	deadAnt := flag.Int("dead-ant", -1, "antenna index with a dead RF chain from -dead-from seconds on (-1 = none)")
 	deadFrom := flag.Float64("dead-from", 2, "time at which -dead-ant fails, seconds")
@@ -156,7 +158,15 @@ func main() {
 	var res *tracking.Result
 	mode := "pure RIM (hexagonal array)"
 	if *fused {
+		backend, ok := fusion.ParseBackend(*backendName)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "rimtrack: unknown -backend", *backendName)
+			os.Exit(2)
+		}
 		mode = "RIM distance + gyro heading + particle filter"
+		if backend == fusion.BackendESKF {
+			mode = "RIM distance + gyro heading + ESKF (ZUPT-aided)"
+		}
 		arr3 := array.NewLinear3(experiments.Spacing)
 		series, err = csi.Collect(env, arr3, tr, rcv).Process(true)
 		if err != nil {
@@ -172,6 +182,7 @@ func main() {
 		cfg.Flight = flight
 		readings := imu.Simulate(tr, imu.DefaultConfig(*seed))
 		pfCfg := fusion.DefaultConfig(*seed)
+		pfCfg.Backend = backend
 		pfCfg.Obs = reg
 		pfCfg.Trace = rec
 		res, err = tracking.Fused(series, cfg, readings, tracking.FusedConfig{

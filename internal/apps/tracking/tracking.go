@@ -68,12 +68,15 @@ func PureRIM(s *csi.Series, cfg core.Config, initial geom.Pose, truth *traj.Traj
 
 // FusedConfig selects the fusion variant of Fig. 21.
 type FusedConfig struct {
-	// UsePF enables the map-constrained particle filter; without it the
-	// output is raw dead reckoning of RIM distance + gyro heading.
+	// UsePF enables a fusion backend; without it the output is raw dead
+	// reckoning of RIM distance + gyro heading. The name predates the
+	// backend split: which backend runs is PF.Backend (particle filter by
+	// default, ESKF via fusion.BackendESKF).
 	UsePF bool
-	// PF parameterizes the particle filter (used when UsePF).
+	// PF parameterizes the fusion backend (used when UsePF).
 	PF fusion.Config
-	// Plan is the floorplan for the PF wall constraint.
+	// Plan is the floorplan for the particle filter's wall constraint
+	// (ignored by the ESKF backend).
 	Plan *floorplan.Plan
 }
 
@@ -95,13 +98,33 @@ func Fused(s *csi.Series, cfg core.Config, readings []imu.Reading, fcfg FusedCon
 
 	var est []geom.Vec2
 	if fcfg.UsePF {
-		f := fusion.NewFilter(fcfg.Plan, initial, fcfg.PF)
+		pcfg := fcfg.PF
+		if pcfg.StepSeconds <= 0 {
+			pcfg.StepSeconds = dt
+		}
+		f, err := fusion.New(fcfg.Plan, initial, pcfg)
+		if err != nil {
+			return nil, err
+		}
+		// Confirmed zero-velocity slots become ZUPT-flagged steps; the
+		// magnetometer heading rides along as a weak absolute reference.
+		// The particle filter ignores both (its floorplan is the absolute
+		// reference), so pre-split runs are bitwise unchanged.
+		zupt := make([]bool, n)
+		for _, z := range res.ZUPTs {
+			for t := z.Start; t < z.End && t < n; t++ {
+				zupt[t] = true
+			}
+		}
 		inputs := make([]fusion.Input, n)
 		for i := 0; i < n; i++ {
 			inputs[i] = fusion.Input{
 				DistDelta:  speeds[i] * dt,
 				ThetaDelta: readings[i].Gyro * dt,
 				Quality:    quality[i],
+				ZUPT:       zupt[i],
+				MagHeading: readings[i].MagHeading,
+				HasMag:     true,
 			}
 		}
 		for _, pose := range f.TrackAll(inputs) {

@@ -1,12 +1,14 @@
 package tracking
 
 import (
+	"math"
 	"testing"
 
 	"rim/internal/array"
 	"rim/internal/camera"
 	"rim/internal/core"
 	"rim/internal/csi"
+	"rim/internal/faults"
 	"rim/internal/floorplan"
 	"rim/internal/fusion"
 	"rim/internal/geom"
@@ -157,5 +159,54 @@ func TestEvaluateDistances(t *testing.T) {
 	}
 	if r.EstimatedDistance != 1 || r.TruthDistance != 1 {
 		t.Errorf("distances = %v / %v", r.EstimatedDistance, r.TruthDistance)
+	}
+}
+
+// TestFusedBackendsDegradeGracefullyOnFaultyWalk drives the same
+// fault-injected walk (bursty loss + a dead chain mid-walk) through both
+// fusion backends: estimates must stay finite and the error bounded — a
+// degraded walk may cost accuracy, never sanity.
+func TestFusedBackendsDegradeGracefullyOnFaultyWalk(t *testing.T) {
+	rate := 100.0
+	start := geom.Vec2{X: 10, Y: 0}
+	arr := array.NewLinear3(0.029)
+	env := rf.NewEnvironment(rf.FastConfig(), geom.Vec2{}, start, nil)
+	b := traj.NewBuilder(rate, geom.Pose{Pos: start})
+	b.Pause(0.6)
+	b.MoveDir(0, 1.5, 0.5)
+	b.Pause(0.8)
+	b.MoveDir(0, 1.0, 0.5)
+	b.Pause(0.6)
+	tr := b.Build()
+	rcv := csi.RealisticReceiver(83)
+	rcv.Faults = &faults.Model{
+		Seed:     83,
+		Loss:     faults.NewGilbertElliott(0.3, 20),
+		Dropouts: []faults.Dropout{{Antenna: 2, Start: 2.5}},
+	}
+	s, err := csi.Collect(env, arr, tr, rcv).Process(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings := imu.Simulate(tr, imu.DefaultConfig(7))
+	camCfg := camera.DefaultConfig(4)
+	for _, backend := range []fusion.BackendKind{fusion.BackendParticle, fusion.BackendESKF} {
+		fcfg := fusion.DefaultConfig(11)
+		fcfg.Backend = backend
+		res, err := Fused(s, trackConfig(arr), readings, FusedConfig{
+			UsePF: true,
+			PF:    fcfg,
+		}, geom.Pose{Pos: start}, tr, camCfg)
+		if err != nil {
+			t.Fatalf("%v: %v", backend, err)
+		}
+		for i, p := range res.Estimated {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+				t.Fatalf("%v: non-finite estimate at slot %d: %v", backend, i, p)
+			}
+		}
+		if res.MedianError > 1.0 {
+			t.Errorf("%v: faulty-walk median error %.3f m, want <= 1.0", backend, res.MedianError)
+		}
 	}
 }

@@ -41,6 +41,10 @@ type Config struct {
 	PostCheck align.PostCheckConfig
 	// MinSegmentSeconds discards movement segments shorter than this.
 	MinSegmentSeconds float64
+	// ZUPTMinSeconds discards zero-velocity intervals shorter than this
+	// (default 0.2 s): a static run must persist before it is trusted as a
+	// zero-velocity pseudo-measurement (see zupt.go).
+	ZUPTMinSeconds float64
 	// HeadingWindowSeconds is the duration of the sub-windows within a
 	// movement segment over which the winning pair group (and hence the
 	// heading) is re-selected. Curved strokes and sideway course changes
@@ -145,6 +149,9 @@ func (cfg *Config) applyDefaults(rate float64) {
 	if cfg.MinSegmentSeconds <= 0 {
 		cfg.MinSegmentSeconds = 0.25
 	}
+	if cfg.ZUPTMinSeconds <= 0 {
+		cfg.ZUPTMinSeconds = 0.2
+	}
 	if cfg.HeadingWindowSeconds <= 0 {
 		cfg.HeadingWindowSeconds = 0.8
 	}
@@ -153,6 +160,22 @@ func (cfg *Config) applyDefaults(rate float64) {
 	}
 	if cfg.SpeedSmoothHalf <= 0 {
 		cfg.SpeedSmoothHalf = int(rate / 20)
+	}
+	// The align-layer sub-configs must not stay zero: a zero
+	// MovementConfig.Threshold makes the movement trigger unreachable, so
+	// every slot reads static and downstream consumers (ZUPT extraction,
+	// fusion backends) see a device that never moves.
+	if cfg.Movement == (align.MovementConfig{}) {
+		cfg.Movement = align.DefaultMovementConfig()
+	}
+	if cfg.Track == (align.TrackConfig{}) {
+		cfg.Track = align.DefaultTrackConfig()
+	}
+	if cfg.PreDetect == (align.PreDetectConfig{}) {
+		cfg.PreDetect = align.DefaultPreDetectConfig()
+	}
+	if cfg.PostCheck == (align.PostCheckConfig{}) {
+		cfg.PostCheck = align.DefaultPostCheckConfig()
 	}
 }
 
@@ -257,6 +280,10 @@ type Result struct {
 	// MovementIndicator is the §4.1 self-TRRS statistic (exposed for the
 	// Fig. 7 experiment).
 	MovementIndicator []float64
+	// ZUPTs are the confirmed zero-velocity intervals of the pass, ordered
+	// and non-overlapping (see zupt.go). Fusion backends consume them as
+	// pseudo-measurements.
+	ZUPTs []ZUPTInterval
 	// DeadlineExceeded reports that the analysis deadline expired before
 	// the pass completed: the slots of every unprocessed stage were emitted
 	// as degraded placeholders (never stale or fabricated motion).
@@ -312,6 +339,10 @@ type pipelineObs struct {
 	// work measure; finalized emissions are counted by rim_stream_*).
 	estimates, degraded *obs.Counter
 	segments            *obs.Counter
+	// zuptIntervals/zuptSlots count zero-velocity intervals resolved by
+	// Process and the static slots they cover (work measure for streams,
+	// like rim_estimates_total).
+	zuptIntervals, zuptSlots *obs.Counter
 }
 
 func newPipelineObs(reg *obs.Registry) pipelineObs {
@@ -325,6 +356,10 @@ func newPipelineObs(reg *obs.Registry) pipelineObs {
 		estimates: reg.Counter("rim_estimates_total", "window slots analyzed by pipeline Process"),
 		degraded:  reg.Counter("rim_estimates_degraded_total", "analyzed window slots flagged degraded"),
 		segments:  reg.Counter("rim_segments_total", "movement segments resolved"),
+		zuptIntervals: reg.Counter("rim_zupt_intervals_total",
+			"zero-velocity (ZUPT) intervals resolved by pipeline Process"),
+		zuptSlots: reg.Counter("rim_zupt_slots_total",
+			"window slots covered by resolved zero-velocity intervals"),
 	}
 }
 
@@ -537,6 +572,9 @@ func (p *Pipeline) Process() *Result {
 		p.fastInd = align.MovementIndicator(p.eng, fastCfg)
 		movementSpan.End()
 		movementTrace.End()
+		res.ZUPTs = p.extractZUPTs(res.MovementIndicator, release,
+			int(p.cfg.ZUPTMinSeconds*rate))
+		p.emitZUPTs(res.ZUPTs, hop)
 	}
 	res.Estimates = make([]Estimate, slots)
 	dt := 1 / rate

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"rim/internal/align"
 	"rim/internal/array"
 	"rim/internal/csi"
 	"rim/internal/geom"
@@ -285,5 +286,34 @@ func TestGroupMatrixSelection(t *testing.T) {
 	}
 	if p.Engine() == nil {
 		t.Error("engine not exposed")
+	}
+}
+
+// TestApplyDefaultsFillsAlignConfigs pins the defaulting of the align-layer
+// sub-configs: a caller that hand-rolls Config{Array: ...} (as the daemon
+// factory does) must still analyze at the paper's operating point. A zero
+// MovementConfig in particular has Threshold 0, which makes the movement
+// trigger unreachable — every slot reads static and fusion never moves.
+func TestApplyDefaultsFillsAlignConfigs(t *testing.T) {
+	var cfg Config
+	cfg.applyDefaults(100)
+	if cfg.Movement != align.DefaultMovementConfig() {
+		t.Errorf("Movement = %+v, want defaults", cfg.Movement)
+	}
+	if cfg.Track != align.DefaultTrackConfig() {
+		t.Errorf("Track = %+v, want defaults", cfg.Track)
+	}
+	if cfg.PreDetect != align.DefaultPreDetectConfig() {
+		t.Errorf("PreDetect = %+v, want defaults", cfg.PreDetect)
+	}
+	if cfg.PostCheck != align.DefaultPostCheckConfig() {
+		t.Errorf("PostCheck = %+v, want defaults", cfg.PostCheck)
+	}
+
+	// Explicit settings survive: only the fully-zero structs are filled.
+	tuned := Config{Movement: align.MovementConfig{Threshold: 0.7, LagSeconds: 0.05}}
+	tuned.applyDefaults(100)
+	if tuned.Movement.Threshold != 0.7 {
+		t.Errorf("explicit Movement overwritten: %+v", tuned.Movement)
 	}
 }

@@ -5,7 +5,14 @@ import (
 	"strings"
 	"testing"
 
+	"rim/internal/apps/tracking"
+	"rim/internal/array"
+	"rim/internal/camera"
+	"rim/internal/fusion"
+	"rim/internal/geom"
+	"rim/internal/imu"
 	"rim/internal/sigproc"
+	"rim/internal/traj"
 )
 
 // The experiment tests assert the paper's qualitative shapes at Fast scale:
@@ -295,6 +302,67 @@ func TestFig21Shape(t *testing.T) {
 	if r.PFMedianErrM > r.RawMedianErrM+0.1 {
 		t.Errorf("PF (%v m) worse than raw (%v m)\n%s",
 			r.PFMedianErrM, r.RawMedianErrM, r.Report)
+	}
+	// Cross-backend golden: the ESKF has no floorplan, but ZUPT + mag
+	// pseudo-measurements must keep it within the documented budget of the
+	// particle-filter golden (DESIGN.md "Fusion backends & ZUPT": median
+	// error within 0.5 m on the Fig. 21 walk) and no worse than raw dead
+	// reckoning beyond noise.
+	if r.ESKFMedianErrM > r.PFMedianErrM+0.5 {
+		t.Errorf("ESKF (%v m) outside the 0.5 m budget of the PF golden (%v m)\n%s",
+			r.ESKFMedianErrM, r.PFMedianErrM, r.Report)
+	}
+	if r.ESKFMedianErrM > r.RawMedianErrM+0.25 {
+		t.Errorf("ESKF (%v m) clearly worse than raw dead reckoning (%v m)\n%s",
+			r.ESKFMedianErrM, r.RawMedianErrM, r.Report)
+	}
+}
+
+// TestESKFBeatsRawOnLongDriftWalk pins the point of the ESKF backend: on a
+// long walk with an aggressively drifting gyro, the ZUPT pauses let the
+// filter learn the gyro bias, so it must end up strictly better than raw
+// dead reckoning of the same inputs.
+func TestESKFBeatsRawOnLongDriftWalk(t *testing.T) {
+	setup := NewSetupAt(Fast, 0, geom.Vec2{X: 9.5, Y: 12}, 7201)
+	rate := Fast.Rate()
+	arr := array.NewLinear3(Spacing)
+	start := geom.Vec2{X: 8.75, Y: 5.5}
+	// Four corridor legs separated by standing pauses: the pauses are the
+	// ZUPT intervals that expose the biases.
+	b := traj.NewBuilder(rate, geom.Pose{Pos: start, Theta: geom.Rad(90)})
+	b.Pause(1)
+	for i := 0; i < 4; i++ {
+		b.MoveBody(0, 3, 0.5)
+		b.Pause(1.2)
+	}
+	tr := b.Build()
+	s, err := setup.Acquire(arr, tr, 7210)
+	if err != nil {
+		t.Fatal(err)
+	}
+	icfg := imu.DefaultConfig(7211)
+	icfg.GyroBiasWalk = 1e-2 // drifts hard over ~30 s
+	readings := imu.Simulate(tr, icfg)
+	camCfg := camera.DefaultConfig(7212)
+	cfg := CoreConfig(Fast, arr)
+	initial := geom.Pose{Pos: start, Theta: geom.Rad(90)}
+
+	raw, err := tracking.Fused(s, cfg, readings, tracking.FusedConfig{}, initial, tr, camCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eskfCfg := fusion.DefaultConfig(7213)
+	eskfCfg.Backend = fusion.BackendESKF
+	eskf, err := tracking.Fused(s, cfg, readings, tracking.FusedConfig{
+		UsePF: true,
+		PF:    eskfCfg,
+	}, initial, tr, camCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eskf.MedianError >= raw.MedianError {
+		t.Errorf("ESKF median %.3f m not strictly better than raw dead reckoning %.3f m",
+			eskf.MedianError, raw.MedianError)
 	}
 }
 

@@ -231,8 +231,10 @@ func Fig20(scale Scale) *Fig20Result {
 type Fig21Result struct {
 	Report *Report
 	// RawMedianErrM is RIM distance + gyro heading dead reckoning;
-	// PFMedianErrM adds the map-constrained particle filter.
-	RawMedianErrM, PFMedianErrM float64
+	// PFMedianErrM adds the map-constrained particle filter;
+	// ESKFMedianErrM swaps the particle filter for the error-state Kalman
+	// backend (ZUPT pseudo-measurements, no floorplan).
+	RawMedianErrM, PFMedianErrM, ESKFMedianErrM float64
 }
 
 // Fig21 reproduces "Tracking by RIM integrated with sensors": RIM supplies
@@ -287,7 +289,23 @@ func Fig21(scale Scale) *Fig21Result {
 	if err != nil {
 		panic(err)
 	}
-	out := &Fig21Result{RawMedianErrM: raw.MedianError, PFMedianErrM: pf.MedianError}
+	// Same walk through the ESKF backend: no floorplan, but ZUPT intervals
+	// pin the speed/gyro biases during the pauses and the magnetometer
+	// bounds absolute heading drift.
+	eskfCfg := fusion.DefaultConfig(2213)
+	eskfCfg.Backend = fusion.BackendESKF
+	eskf, err := tracking.Fused(s, cfg, readings, tracking.FusedConfig{
+		UsePF: true,
+		PF:    eskfCfg,
+	}, geom.Pose{Pos: start, Theta: geom.Rad(90)}, tr, camCfg)
+	if err != nil {
+		panic(err)
+	}
+	out := &Fig21Result{
+		RawMedianErrM:  raw.MedianError,
+		PFMedianErrM:   pf.MedianError,
+		ESKFMedianErrM: eskf.MedianError,
+	}
 	rep := &Report{
 		ID:         "Fig. 21",
 		Title:      "Tracking by RIM integrated with inertial sensors",
@@ -296,6 +314,7 @@ func Fig21(scale Scale) *Fig21Result {
 	}
 	rep.AddRow("RIM + gyro (raw)", fmt.Sprintf("%.2f", out.RawMedianErrM))
 	rep.AddRow("RIM + gyro + particle filter", fmt.Sprintf("%.2f", out.PFMedianErrM))
+	rep.AddRow("RIM + gyro + ESKF (ZUPT)", fmt.Sprintf("%.2f", out.ESKFMedianErrM))
 	out.Report = rep
 	return out
 }

@@ -1,0 +1,83 @@
+package fusion
+
+import (
+	"fmt"
+
+	"rim/internal/floorplan"
+	"rim/internal/geom"
+)
+
+// Backend is the estimation backend shared by the map-constrained particle
+// filter (Filter) and the error-state Kalman filter (ESKF): a sequential
+// pose estimator fed one dead-reckoning Input per step. Both
+// implementations are deterministic for a fixed Config and input sequence
+// (the particle filter by its seeded RNG, the ESKF by being RNG-free),
+// which the cross-backend regression tests pin bitwise.
+type Backend interface {
+	// Step advances the estimator by one input and returns the pose
+	// estimate after the step.
+	Step(in Input) geom.Pose
+	// Estimate returns the current pose estimate without advancing.
+	Estimate() geom.Pose
+	// TrackAll runs the estimator over a full input sequence and returns
+	// the pose estimate after every step.
+	TrackAll(inputs []Input) []geom.Pose
+}
+
+var (
+	_ Backend = (*Filter)(nil)
+	_ Backend = (*ESKF)(nil)
+)
+
+// BackendKind selects which Backend New constructs.
+type BackendKind int
+
+const (
+	// BackendParticle is the map-constrained particle filter (fusion.go):
+	// heavier per step but able to exploit a floorplan for absolute
+	// position correction. The zero value, so existing configurations keep
+	// their behavior.
+	BackendParticle BackendKind = iota
+	// BackendESKF is the error-state Kalman filter (eskf.go): ~two orders
+	// of magnitude cheaper per step (enforced ≥5x by TestFusionBenchGuard),
+	// estimates speed/gyro biases from ZUPT pseudo-measurements, but does
+	// not consume a floorplan.
+	BackendESKF
+)
+
+// String implements fmt.Stringer with the names ParseBackend accepts.
+func (k BackendKind) String() string {
+	switch k {
+	case BackendParticle:
+		return "particle"
+	case BackendESKF:
+		return "eskf"
+	default:
+		return fmt.Sprintf("backend(%d)", int(k))
+	}
+}
+
+// ParseBackend maps a flag value to its BackendKind.
+func ParseBackend(s string) (BackendKind, bool) {
+	switch s {
+	case "particle", "pf":
+		return BackendParticle, true
+	case "eskf", "kalman":
+		return BackendESKF, true
+	}
+	return BackendParticle, false
+}
+
+// New constructs the backend selected by cfg.Backend around the known
+// initial pose. plan is the floorplan for the particle filter's wall
+// constraint (nil disables it); the ESKF ignores it.
+func New(plan *floorplan.Plan, initial geom.Pose, cfg Config) (Backend, error) {
+	switch cfg.Backend {
+	case BackendParticle:
+		return NewFilter(plan, initial, cfg), nil
+	case BackendESKF:
+		return NewESKF(initial, cfg), nil
+	default:
+		return nil, fmt.Errorf("fusion: unknown backend kind %d", int(cfg.Backend))
+	}
+}

@@ -1,0 +1,32 @@
+package fusion
+
+import (
+	"testing"
+
+	"rim/internal/geom"
+)
+
+var benchSink geom.Pose
+
+// BenchmarkFusionStep measures one Step of each backend on the shared mixed
+// input tape (motion + ZUPT + magnetometer steps). The committed baseline
+// and the ≥5x ESKF-vs-particle guard live in BENCH_fusion.json /
+// TestFusionBenchGuard at the repo root.
+func BenchmarkFusionStep(b *testing.B) {
+	inputs := mixedInputs(256)
+	for _, kind := range []BackendKind{BackendParticle, BackendESKF} {
+		b.Run(kind.String(), func(b *testing.B) {
+			cfg := DefaultConfig(1)
+			cfg.Backend = kind
+			bk, err := New(nil, geom.Pose{Pos: geom.Vec2{X: 1, Y: 1}}, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchSink = bk.Step(inputs[i%len(inputs)])
+			}
+		})
+	}
+}

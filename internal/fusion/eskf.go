@@ -1,0 +1,346 @@
+package fusion
+
+import (
+	"math"
+
+	"rim/internal/geom"
+	"rim/internal/obs"
+	"rim/internal/obs/trace"
+)
+
+// Error-state Kalman filter backend, after the RINS-W recipe: a robust
+// zero-velocity detector (RIM's §4.1 movement stage, surfaced as
+// core.ZUPTInterval) feeds ZUPT and no-lateral-slip pseudo-measurements
+// into a Kalman filter over the *errors* of a dead-reckoned nominal state.
+// The nominal state integrates RIM speed and gyro heading exactly as raw
+// dead-reckoning would; the filter estimates how wrong that integration is
+// — including the speed and gyro-rate biases that make pure dead-reckoning
+// drift without bound — and folds the correction back after every update.
+//
+// The error state is 5-dimensional:
+//
+//	δ = [δx, δy, δθ, δv, δb]
+//
+// position error (m), heading error (rad), speed-bias error (m/s) and
+// gyro-rate-bias error (rad/s). Updates use the Joseph form and re-
+// symmetrization so the covariance stays symmetric positive-semidefinite
+// (pinned by the property tests in property_test.go). The filter is
+// RNG-free: identical inputs produce bitwise-identical trajectories.
+
+// ESKFParams tunes the error-state Kalman backend. Zero fields take the
+// documented defaults.
+type ESKFParams struct {
+	// SpeedBiasWalk is the random-walk density of the RIM speed bias,
+	// m/s/√s (default 0.01).
+	SpeedBiasWalk float64
+	// GyroBiasWalk is the random-walk density of the gyro rate bias,
+	// rad/s/√s (default 1e-3).
+	GyroBiasWalk float64
+	// InitSpeedBiasStd / InitGyroBiasStd spread the initial bias
+	// uncertainty (defaults 0.05 m/s and 0.01 rad/s).
+	InitSpeedBiasStd float64
+	InitGyroBiasStd  float64
+	// ZUPTSpeedStd is the measurement noise of the zero-velocity speed
+	// pseudo-measurement, m/s (default 0.02).
+	ZUPTSpeedStd float64
+	// ZUPTGyroStd is the measurement noise of the zero-rotation gyro
+	// pseudo-measurement, rad/s (default 0.01).
+	ZUPTGyroStd float64
+	// MagStd is the measurement noise of the absolute magnetic-heading
+	// update, rad (default 0.35 — soft-iron distortion dominates indoors,
+	// so the update is deliberately weak).
+	MagStd float64
+	// SlipStd is the measurement noise of the no-lateral-slip
+	// pseudo-measurement, m (default 0.05): a walking device does not
+	// translate sideways, which bounds cross-track error growth.
+	SlipStd float64
+}
+
+func (p *ESKFParams) applyDefaults() {
+	if p.SpeedBiasWalk <= 0 {
+		p.SpeedBiasWalk = 0.01
+	}
+	if p.GyroBiasWalk <= 0 {
+		p.GyroBiasWalk = 1e-3
+	}
+	if p.InitSpeedBiasStd <= 0 {
+		p.InitSpeedBiasStd = 0.05
+	}
+	if p.InitGyroBiasStd <= 0 {
+		p.InitGyroBiasStd = 0.01
+	}
+	if p.ZUPTSpeedStd <= 0 {
+		p.ZUPTSpeedStd = 0.02
+	}
+	if p.ZUPTGyroStd <= 0 {
+		p.ZUPTGyroStd = 0.01
+	}
+	if p.MagStd <= 0 {
+		p.MagStd = 0.35
+	}
+	if p.SlipStd <= 0 {
+		p.SlipStd = 0.05
+	}
+}
+
+// eskfDim is the error-state dimension.
+const eskfDim = 5
+
+// Error-state component indices.
+const (
+	eX = iota
+	eY
+	eTheta
+	eV
+	eB
+)
+
+// ESKF is the error-state Kalman filter backend.
+type ESKF struct {
+	cfg Config
+	dt  float64
+
+	// Nominal state: pose plus the estimated sensor biases folded out of
+	// the error state after each update.
+	pos   geom.Vec2
+	theta float64
+	vBias float64 // RIM speed bias, m/s
+	gBias float64 // gyro rate bias, rad/s
+
+	// p is the error-state covariance.
+	p [eskfDim][eskfDim]float64
+
+	// Observability handles (nil = unobserved).
+	steps, zuptUpdates *obs.Counter
+	qualityH           *obs.Histogram
+	trc                *trace.Recorder
+}
+
+// NewESKF initializes the filter at the known initial pose, mirroring
+// NewFilter's contract (the tracking demo is given its start pose).
+func NewESKF(initial geom.Pose, cfg Config) *ESKF {
+	if cfg.StepSeconds <= 0 {
+		cfg.StepSeconds = 0.01
+	}
+	if cfg.PosStd <= 0 {
+		cfg.PosStd = 0.01
+	}
+	if cfg.ThetaStd <= 0 {
+		cfg.ThetaStd = 0.01
+	}
+	cfg.ESKF.applyDefaults()
+	f := &ESKF{cfg: cfg, dt: cfg.StepSeconds, pos: initial.Pos, theta: geom.NormalizeAngle(initial.Theta), trc: cfg.Trace}
+	f.p[eX][eX] = cfg.InitPosStd * cfg.InitPosStd
+	f.p[eY][eY] = cfg.InitPosStd * cfg.InitPosStd
+	f.p[eTheta][eTheta] = cfg.InitThetaStd * cfg.InitThetaStd
+	f.p[eV][eV] = cfg.ESKF.InitSpeedBiasStd * cfg.ESKF.InitSpeedBiasStd
+	f.p[eB][eB] = cfg.ESKF.InitGyroBiasStd * cfg.ESKF.InitGyroBiasStd
+	if cfg.Obs != nil {
+		f.steps = cfg.Obs.Counter("rim_fusion_steps_total",
+			"particle-filter dead-reckoning steps processed")
+		f.zuptUpdates = cfg.Obs.Counter("rim_fusion_zupt_updates_total",
+			"ESKF steps that applied zero-velocity pseudo-measurements")
+		f.qualityH = cfg.Obs.Histogram("rim_fusion_quality",
+			"per-step RIM input quality weight in (0,1]",
+			[]float64{0.1, 0.25, 0.5, 0.75, 0.9, 1})
+	}
+	return f
+}
+
+// Step advances the nominal state by the dead-reckoning input, propagates
+// the error covariance, applies the step's pseudo-measurements and returns
+// the corrected pose estimate.
+func (f *ESKF) Step(in Input) geom.Pose {
+	q := in.Quality
+	if q <= 0 || q > 1 {
+		q = 1
+	}
+	f.steps.Inc()
+	f.qualityH.Observe(q)
+	spread := 1 + 2*(1-q)
+	dt := f.dt
+
+	// Predict: integrate the bias-corrected increments into the nominal
+	// state. Inside a confirmed zero-velocity interval the true distance is
+	// zero by definition, so integration is hard-gated instead of trusting
+	// a residual increment.
+	f.theta = geom.NormalizeAngle(f.theta + in.ThetaDelta - f.gBias*dt)
+	d := in.DistDelta - f.vBias*dt
+	if in.ZUPT {
+		d = 0
+	}
+	sin, cos := math.Sincos(f.theta)
+	f.pos.X += d * cos
+	f.pos.Y += d * sin
+
+	// Error propagation P ← F P Fᵀ + Q with the dead-reckoning Jacobian:
+	// position error grows with heading error (lever arm d) and speed-bias
+	// error; heading error grows with gyro-bias error.
+	var fj [eskfDim][eskfDim]float64
+	for i := 0; i < eskfDim; i++ {
+		fj[i][i] = 1
+	}
+	fj[eX][eTheta] = -d * sin
+	fj[eX][eV] = -dt * cos
+	fj[eY][eTheta] = d * cos
+	fj[eY][eV] = -dt * sin
+	fj[eTheta][eB] = -dt
+	f.p = matMulABAT(fj, f.p)
+	// Process noise mirrors the particle filter's diffusion convention:
+	// position noise scales with the step distance and the quality spread,
+	// heading noise with the spread, and the biases random-walk with √dt.
+	qp := f.cfg.PosStd * (math.Abs(d)*10 + dt) * spread
+	qt := f.cfg.ThetaStd * spread
+	f.p[eX][eX] += qp * qp
+	f.p[eY][eY] += qp * qp
+	f.p[eTheta][eTheta] += qt * qt
+	f.p[eV][eV] += f.cfg.ESKF.SpeedBiasWalk * f.cfg.ESKF.SpeedBiasWalk * dt
+	f.p[eB][eB] += f.cfg.ESKF.GyroBiasWalk * f.cfg.ESKF.GyroBiasWalk * dt
+	f.symmetrize()
+
+	// Updates. Each is a scalar Joseph-form KF update on the error state,
+	// folded into the nominal state immediately (fold-and-reset).
+	zupt := in.ZUPT
+	if zupt {
+		// Zero velocity: the raw increments are pure bias observations.
+		f.update([eskfDim]float64{eV: 1}, in.DistDelta/dt-f.vBias,
+			f.cfg.ESKF.ZUPTSpeedStd*f.cfg.ESKF.ZUPTSpeedStd)
+		f.update([eskfDim]float64{eB: 1}, in.ThetaDelta/dt-f.gBias,
+			f.cfg.ESKF.ZUPTGyroStd*f.cfg.ESKF.ZUPTGyroStd)
+		f.zuptUpdates.Inc()
+	} else if d != 0 {
+		// No lateral slip: a translating walker does not move cross-track,
+		// so the cross-track position error is pseudo-measured as zero.
+		// The innovation is identically zero (the nominal state trivially
+		// satisfies the constraint), so this only conditions the
+		// covariance, bounding heading-induced cross-track growth.
+		sin, cos = math.Sincos(f.theta)
+		f.update([eskfDim]float64{eX: -sin, eY: cos}, 0,
+			f.cfg.ESKF.SlipStd*f.cfg.ESKF.SlipStd)
+	}
+	if in.HasMag {
+		f.update([eskfDim]float64{eTheta: 1},
+			geom.NormalizeAngle(in.MagHeading-f.theta),
+			f.cfg.ESKF.MagStd*f.cfg.ESKF.MagStd)
+	}
+
+	if f.trc != nil {
+		// Same lane as the particle filter's steps (hop 0, see Filter.Step);
+		// B distinguishes ZUPT-carrying steps instead of a particle count.
+		b := int64(0)
+		if zupt {
+			b = 1
+		}
+		f.trc.Emit(trace.KindFusionStep, 0, -1, int64(q*1000), b)
+	}
+	return f.Estimate()
+}
+
+// update applies one scalar measurement with row Jacobian h, innovation nu
+// and noise variance r: Joseph-form covariance update, then the error
+// estimate K·nu is folded into the nominal state and the error reset to
+// zero.
+func (f *ESKF) update(h [eskfDim]float64, nu, r float64) {
+	// S = h P hᵀ + r, K = P hᵀ / S.
+	var ph [eskfDim]float64
+	for i := 0; i < eskfDim; i++ {
+		for j := 0; j < eskfDim; j++ {
+			ph[i] += f.p[i][j] * h[j]
+		}
+	}
+	s := r
+	for i := 0; i < eskfDim; i++ {
+		s += h[i] * ph[i]
+	}
+	if s <= 0 {
+		return
+	}
+	var k [eskfDim]float64
+	for i := 0; i < eskfDim; i++ {
+		k[i] = ph[i] / s
+	}
+	// Joseph form: P ← (I − K h) P (I − K h)ᵀ + K r Kᵀ, then force exact
+	// symmetry so float round-off cannot accumulate into asymmetry.
+	var ikh [eskfDim][eskfDim]float64
+	for i := 0; i < eskfDim; i++ {
+		for j := 0; j < eskfDim; j++ {
+			ikh[i][j] = -k[i] * h[j]
+		}
+		ikh[i][i] += 1
+	}
+	f.p = matMulABAT(ikh, f.p)
+	for i := 0; i < eskfDim; i++ {
+		for j := 0; j < eskfDim; j++ {
+			f.p[i][j] += k[i] * r * k[j]
+		}
+	}
+	f.symmetrize()
+	// Fold the error estimate into the nominal state (reset is implicit:
+	// the error mean is zero again after folding).
+	f.pos.X += k[eX] * nu
+	f.pos.Y += k[eY] * nu
+	f.theta = geom.NormalizeAngle(f.theta + k[eTheta]*nu)
+	f.vBias += k[eV] * nu
+	f.gBias += k[eB] * nu
+}
+
+// symmetrize forces the covariance exactly symmetric. A·B·Aᵀ is symmetric
+// in exact arithmetic but its two triangles are summed in different orders
+// in floating point; averaging them keeps round-off from accumulating.
+func (f *ESKF) symmetrize() {
+	for i := 0; i < eskfDim; i++ {
+		for j := i + 1; j < eskfDim; j++ {
+			m := (f.p[i][j] + f.p[j][i]) / 2
+			f.p[i][j], f.p[j][i] = m, m
+		}
+	}
+}
+
+// matMulABAT returns A·B·Aᵀ for the filter's fixed-size matrices.
+func matMulABAT(a, b [eskfDim][eskfDim]float64) [eskfDim][eskfDim]float64 {
+	var ab, out [eskfDim][eskfDim]float64
+	for i := 0; i < eskfDim; i++ {
+		for j := 0; j < eskfDim; j++ {
+			var s float64
+			for l := 0; l < eskfDim; l++ {
+				s += a[i][l] * b[l][j]
+			}
+			ab[i][j] = s
+		}
+	}
+	for i := 0; i < eskfDim; i++ {
+		for j := 0; j < eskfDim; j++ {
+			var s float64
+			for l := 0; l < eskfDim; l++ {
+				s += ab[i][l] * a[j][l]
+			}
+			out[i][j] = s
+		}
+	}
+	return out
+}
+
+// Estimate returns the current nominal pose.
+func (f *ESKF) Estimate() geom.Pose {
+	return geom.Pose{Pos: f.pos, Theta: f.theta}
+}
+
+// Covariance returns a copy of the 5×5 error-state covariance
+// ([δx, δy, δθ, δv, δb] ordering) for tests and diagnostics.
+func (f *ESKF) Covariance() [eskfDim][eskfDim]float64 { return f.p }
+
+// SpeedBias returns the estimated RIM speed bias, m/s.
+func (f *ESKF) SpeedBias() float64 { return f.vBias }
+
+// GyroBias returns the estimated gyro rate bias, rad/s.
+func (f *ESKF) GyroBias() float64 { return f.gBias }
+
+// TrackAll runs the filter over a full input sequence and returns the pose
+// estimate after every step.
+func (f *ESKF) TrackAll(inputs []Input) []geom.Pose {
+	out := make([]geom.Pose, len(inputs))
+	for i, in := range inputs {
+		out[i] = f.Step(in)
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package fusion
+
+import (
+	"math"
+	"testing"
+
+	"rim/internal/geom"
+	"rim/internal/obs"
+)
+
+// TestESKFCleanDeadReckoningExact: with no ZUPT/mag measurements and zero
+// initial biases the ESKF's nominal state must be *exactly* dead reckoning —
+// the no-lateral-slip update has an identically zero innovation, so it may
+// condition the covariance but never move the state.
+func TestESKFCleanDeadReckoningExact(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Backend = BackendESKF
+	cfg.StepSeconds = 0.01
+	f := NewESKF(geom.Pose{Pos: geom.Vec2{X: 2, Y: 3}, Theta: 0.5}, cfg)
+
+	ref := geom.Pose{Pos: geom.Vec2{X: 2, Y: 3}, Theta: 0.5}
+	for i := 0; i < 200; i++ {
+		in := Input{DistDelta: 0.05, ThetaDelta: 0.01, Quality: 1}
+		est := f.Step(in)
+		ref.Theta = geom.NormalizeAngle(ref.Theta + in.ThetaDelta)
+		ref.Pos = ref.Pos.Add(geom.FromPolar(in.DistDelta, ref.Theta))
+		if est.Pos.Dist(ref.Pos) > 1e-12 {
+			t.Fatalf("step %d: ESKF diverged from exact DR: %v vs %v", i, est.Pos, ref.Pos)
+		}
+		if geom.AbsAngleDiff(est.Theta, ref.Theta) > 1e-12 {
+			t.Fatalf("step %d: heading diverged: %v vs %v", i, est.Theta, ref.Theta)
+		}
+	}
+	if f.SpeedBias() != 0 || f.GyroBias() != 0 {
+		t.Errorf("clean run grew biases: v=%v g=%v", f.SpeedBias(), f.GyroBias())
+	}
+}
+
+// TestESKFZUPTLearnsBiases: during a confirmed zero-velocity interval the
+// raw increments are pure bias observations. Feeding residual increments
+// consistent with a 0.2 m/s speed bias and a 0.05 rad/s gyro bias, the
+// filter must converge to both.
+func TestESKFZUPTLearnsBiases(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Backend = BackendESKF
+	cfg.StepSeconds = 0.01
+	f := NewESKF(geom.Pose{}, cfg)
+
+	const vBias, gBias = 0.2, 0.05
+	for i := 0; i < 300; i++ {
+		f.Step(Input{DistDelta: vBias * 0.01, ThetaDelta: gBias * 0.01, ZUPT: true})
+	}
+	if math.Abs(f.SpeedBias()-vBias) > 0.02 {
+		t.Errorf("speed bias = %.4f, want ~%.2f", f.SpeedBias(), vBias)
+	}
+	if math.Abs(f.GyroBias()-gBias) > 0.01 {
+		t.Errorf("gyro bias = %.4f, want ~%.2f", f.GyroBias(), gBias)
+	}
+	// ZUPT hard-gates integration: the pose must not have walked away.
+	if d := f.Estimate().Pos.Dist(geom.Vec2{}); d > 0.05 {
+		t.Errorf("pose drifted %.3f m during a zero-velocity interval", d)
+	}
+}
+
+// TestESKFMagHeadingConverges: repeated (deliberately weak) magnetic heading
+// updates must pull the nominal heading to the measured one.
+func TestESKFMagHeadingConverges(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.Backend = BackendESKF
+	f := NewESKF(geom.Pose{}, cfg) // heading 0
+	for i := 0; i < 800; i++ {
+		f.Step(Input{HasMag: true, MagHeading: 1.0})
+	}
+	if d := geom.AbsAngleDiff(f.Estimate().Theta, 1.0); d > 0.1 {
+		t.Errorf("heading %.3f rad after mag updates, want ~1.0 (off by %.3f)", f.Estimate().Theta, d)
+	}
+}
+
+// TestESKFMetrics: the backend reports steps and ZUPT updates on the shared
+// fusion metric names.
+func TestESKFMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := DefaultConfig(4)
+	cfg.Backend = BackendESKF
+	cfg.Obs = reg
+	f := NewESKF(geom.Pose{}, cfg)
+	for i := 0; i < 10; i++ {
+		f.Step(Input{DistDelta: 0.01, ZUPT: i < 4})
+	}
+	var steps, zupts uint64
+	for _, m := range reg.Snapshot() {
+		switch m.Name {
+		case "rim_fusion_steps_total":
+			steps = uint64(m.Value)
+		case "rim_fusion_zupt_updates_total":
+			zupts = uint64(m.Value)
+		}
+	}
+	if steps != 10 {
+		t.Errorf("rim_fusion_steps_total = %d, want 10", steps)
+	}
+	if zupts != 4 {
+		t.Errorf("rim_fusion_zupt_updates_total = %d, want 4", zupts)
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	cases := []struct {
+		in   string
+		kind BackendKind
+		ok   bool
+	}{
+		{"particle", BackendParticle, true},
+		{"pf", BackendParticle, true},
+		{"eskf", BackendESKF, true},
+		{"kalman", BackendESKF, true},
+		{"bogus", BackendParticle, false},
+		{"", BackendParticle, false},
+	}
+	for _, c := range cases {
+		kind, ok := ParseBackend(c.in)
+		if kind != c.kind || ok != c.ok {
+			t.Errorf("ParseBackend(%q) = (%v, %v), want (%v, %v)", c.in, kind, ok, c.kind, c.ok)
+		}
+	}
+	// String must round-trip through ParseBackend for both kinds.
+	for _, k := range []BackendKind{BackendParticle, BackendESKF} {
+		got, ok := ParseBackend(k.String())
+		if !ok || got != k {
+			t.Errorf("String/ParseBackend round trip broken for %v", k)
+		}
+	}
+}
+
+func TestNewRejectsUnknownBackend(t *testing.T) {
+	cfg := DefaultConfig(5)
+	cfg.Backend = BackendKind(99)
+	if _, err := New(nil, geom.Pose{}, cfg); err == nil {
+		t.Fatal("unknown backend kind must error")
+	}
+	for _, k := range []BackendKind{BackendParticle, BackendESKF} {
+		cfg.Backend = k
+		b, err := New(nil, geom.Pose{}, cfg)
+		if err != nil || b == nil {
+			t.Fatalf("New(%v) = (%v, %v)", k, b, err)
+		}
+	}
+}

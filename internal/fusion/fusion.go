@@ -26,6 +26,19 @@ type Input struct {
 	// their confidence here so the filter widens its diffusion instead of
 	// trusting the distance. <= 0 means unknown and is treated as 1.
 	Quality float64
+	// ZUPT marks the step as inside a confirmed zero-velocity interval
+	// (core.ZUPTInterval): the device is known static, so the raw distance
+	// and gyro increments measure pure sensor bias. The ESKF backend turns
+	// the step into zero-velocity pseudo-measurements; the particle filter
+	// ignores the flag (map constraints already absorb static drift).
+	ZUPT bool
+	// MagHeading is an absolute world-frame heading observation in radians
+	// (e.g. a soft-iron-distorted magnetometer), valid only when HasMag is
+	// set. Consumed by the ESKF backend as a weak absolute-heading update;
+	// ignored by the particle filter, whose floorplan provides the absolute
+	// reference instead.
+	MagHeading float64
+	HasMag     bool
 }
 
 // Config parameterizes the particle filter.
@@ -44,6 +57,18 @@ type Config struct {
 	ResampleFrac float64
 	// Seed drives the filter randomness.
 	Seed int64
+	// Backend selects the estimation backend New constructs: the
+	// map-constrained particle filter (the zero value, BackendParticle) or
+	// the error-state Kalman filter (BackendESKF). See backend.go and
+	// DESIGN.md "Fusion backends & ZUPT" for the trade-off.
+	Backend BackendKind
+	// StepSeconds is the wall-clock duration of one Input step (default
+	// 0.01 s). The ESKF needs it to convert distance/heading increments
+	// into rates for its bias states; the particle filter does not use it.
+	StepSeconds float64
+	// ESKF tunes the error-state Kalman backend; zero fields take the
+	// defaults documented on ESKFParams. Ignored by the particle filter.
+	ESKF ESKFParams
 	// Obs, when non-nil, receives the filter's run metrics: steps and
 	// resampling/revival events, the distribution of input quality, and a
 	// live-particle gauge. Fully optional; a nil registry costs nothing.

@@ -2,11 +2,37 @@ package fusion
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"rim/internal/floorplan"
 	"rim/internal/geom"
 )
+
+// mixedInputs builds a deterministic input tape that exercises every Input
+// field: clean motion, degraded-quality steps, confirmed zero-velocity
+// (ZUPT) steps and magnetometer-carrying steps.
+func mixedInputs(n int) []Input {
+	rng := rand.New(rand.NewSource(17))
+	out := make([]Input, n)
+	for i := range out {
+		in := Input{
+			DistDelta:  rng.Float64() * 0.06,
+			ThetaDelta: (rng.Float64() - 0.5) * 0.04,
+			Quality:    0.3 + rng.Float64()*0.7,
+		}
+		if i%17 < 4 {
+			in.ZUPT = true
+			in.DistDelta = rng.Float64() * 0.002
+		}
+		if i%3 == 0 {
+			in.HasMag = true
+			in.MagHeading = (rng.Float64() - 0.5) * 2 * math.Pi
+		}
+		out[i] = in
+	}
+	return out
+}
 
 func corridorPlan() *floorplan.Plan {
 	// A 2 m wide, 20 m long east-west corridor.
@@ -114,6 +140,57 @@ func TestResamplePreservesCount(t *testing.T) {
 	for _, p := range f.parts {
 		if p.pos != f.parts[0].pos {
 			t.Fatal("resample picked a zero-weight particle")
+		}
+	}
+}
+
+// TestBackendsBitwiseDeterministic pins the regression contract of the
+// Backend interface: for a fixed seed and input tape — including ZUPT and
+// magnetometer steps — every backend must reproduce the exact same
+// trajectory, bit for bit, run after run. The particle filter earns this
+// through its seeded RNG, the ESKF by being RNG-free.
+func TestBackendsBitwiseDeterministic(t *testing.T) {
+	inputs := mixedInputs(120)
+	for _, kind := range []BackendKind{BackendParticle, BackendESKF} {
+		run := func() []geom.Pose {
+			cfg := DefaultConfig(9)
+			cfg.Backend = kind
+			b, err := New(corridorPlan(), geom.Pose{Pos: geom.Vec2{X: 1, Y: 1}}, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b.TrackAll(inputs)
+		}
+		a, b := run(), run()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: same seed diverged at step %d: %v vs %v", kind, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestParticleBackendIgnoresESKFOnlyFields pins the particle filter
+// bitwise-unchanged across the Backend refactor: the Input fields added for
+// the ESKF (ZUPT, MagHeading, HasMag) must not perturb the PF's RNG stream
+// or dynamics in any way.
+func TestParticleBackendIgnoresESKFOnlyFields(t *testing.T) {
+	full := mixedInputs(80)
+	stripped := make([]Input, len(full))
+	for i, in := range full {
+		stripped[i] = Input{DistDelta: in.DistDelta, ThetaDelta: in.ThetaDelta, Quality: in.Quality}
+	}
+	run := func(ins []Input) []geom.Pose {
+		b, err := New(corridorPlan(), geom.Pose{Pos: geom.Vec2{X: 1, Y: 1}}, DefaultConfig(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.TrackAll(ins)
+	}
+	a, b := run(full), run(stripped)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ESKF-only input fields changed the PF at step %d: %v vs %v", i, a[i], b[i])
 		}
 	}
 }

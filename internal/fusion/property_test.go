@@ -60,6 +60,119 @@ func TestFilterWeightsNormalizedProperty(t *testing.T) {
 	}
 }
 
+// covSymmetricPSD reports whether the ESKF covariance is exactly symmetric,
+// finite, and positive semidefinite. PSD is checked by a Cholesky
+// factorization with a small negative-pivot tolerance: round-off may push a
+// pivot a hair below zero, but any genuinely indefinite matrix fails.
+func covSymmetricPSD(m [eskfDim][eskfDim]float64) bool {
+	for i := 0; i < eskfDim; i++ {
+		for j := 0; j < eskfDim; j++ {
+			if math.IsNaN(m[i][j]) || math.IsInf(m[i][j], 0) {
+				return false
+			}
+			if m[i][j] != m[j][i] {
+				return false
+			}
+		}
+	}
+	const tol = 1e-9
+	var l [eskfDim][eskfDim]float64
+	for i := 0; i < eskfDim; i++ {
+		for j := 0; j <= i; j++ {
+			s := m[i][j]
+			for k := 0; k < j; k++ {
+				s -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if s < -tol {
+					return false
+				}
+				l[i][i] = math.Sqrt(math.Max(s, 0))
+			} else if l[j][j] > 0 {
+				l[i][j] = s / l[j][j]
+			} else if math.Abs(s) > tol {
+				return false // zero pivot with a nonzero off-diagonal: indefinite
+			}
+		}
+	}
+	return true
+}
+
+// Property: the ESKF covariance stays symmetric and positive semidefinite
+// after every predict/update, whatever mix of motion, degraded quality,
+// ZUPT and magnetometer steps it is fed. The Joseph-form updates and
+// explicit re-symmetrization exist exactly to make this hold.
+func TestESKFCovarianceSymmetricPSDProperty(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		cfg := DefaultConfig(seed)
+		cfg.Backend = BackendESKF
+		fl := NewESKF(geom.Pose{Pos: geom.Vec2{X: 1, Y: 1}}, cfg)
+		rng := rand.New(rand.NewSource(seed + 3))
+		n := int(steps%50) + 5
+		for i := 0; i < n; i++ {
+			in := Input{
+				DistDelta:  rng.Float64() * 0.08,
+				ThetaDelta: (rng.Float64() - 0.5) * 0.06,
+				Quality:    rng.Float64(),
+			}
+			switch rng.Intn(4) {
+			case 0: // zero-velocity step with a small residual increment
+				in.ZUPT = true
+				in.DistDelta = rng.Float64() * 0.002
+			case 1: // magnetometer-carrying step
+				in.HasMag = true
+				in.MagHeading = (rng.Float64() - 0.5) * 6
+			case 2: // ZUPT and mag together
+				in.ZUPT = true
+				in.DistDelta = 0
+				in.HasMag = true
+				in.MagHeading = rng.Float64()
+			}
+			fl.Step(in)
+			if !covSymmetricPSD(fl.Covariance()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a zero-velocity interval monotonically shrinks the speed-bias
+// error. With DistDelta = 0 each ZUPT speed update contracts the bias by
+// (1 - K) with K in (0, 1), so |vBias| may never grow and must end well
+// below where it started.
+func TestESKFZUPTShrinksSpeedBiasErrorProperty(t *testing.T) {
+	f := func(seed int64, raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		bias := math.Mod(raw, 0.5)
+		if bias == 0 {
+			bias = 0.25
+		}
+		cfg := DefaultConfig(seed)
+		cfg.Backend = BackendESKF
+		fl := NewESKF(geom.Pose{}, cfg)
+		fl.vBias = bias // inject a wrong speed-bias estimate
+		prev := math.Abs(fl.SpeedBias())
+		for i := 0; i < 40; i++ {
+			fl.Step(Input{ZUPT: true})
+			cur := math.Abs(fl.SpeedBias())
+			if cur > prev+1e-12 {
+				return false
+			}
+			prev = cur
+		}
+		return prev <= math.Abs(bias)*0.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: with no map and no noise, the filter's estimate tracks pure
 // dead reckoning exactly (expectation over the symmetric diffusion).
 func TestFilterUnbiasedProperty(t *testing.T) {

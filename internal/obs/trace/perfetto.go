@@ -47,7 +47,7 @@ func lane(k Kind) int {
 		return laneAcquire
 	case KindIngest, KindFrameIngest:
 		return laneIngest
-	case KindHop, KindBuild, KindMovement, KindAlign, KindSegment:
+	case KindHop, KindBuild, KindMovement, KindAlign, KindSegment, KindZUPT:
 		return laneAnalysis
 	case KindEstimate:
 		return laneEmit
@@ -126,6 +126,8 @@ func eventArgs(e Event) map[string]any {
 		args["segment_start"] = e.Frame
 	case KindSegment:
 		args["start"], args["end"], args["motion"] = e.Frame, e.A, e.B
+	case KindZUPT:
+		args["start"], args["end"], args["confidence_permille"] = e.Frame, e.A, e.B
 	case KindTRRSFill:
 		if e.Frame >= 0 {
 			i, j := PairFromCode(e.Frame)

@@ -72,8 +72,10 @@ const (
 	// Frame = PairCode, A = rows reused (carried over), B = rows stale
 	// (invalidated and recomputed).
 	KindTRRSExtend
-	// KindFusionStep marks one particle-filter dead-reckoning step.
-	// A = input quality in permille, B = particles alive after the step.
+	// KindFusionStep marks one fusion-backend dead-reckoning step.
+	// A = input quality in permille; B = particles alive after the step
+	// (particle backend) or 1 when the step carried zero-velocity
+	// pseudo-measurements (ESKF backend).
 	KindFusionStep
 	// KindEstimate marks one finalized estimate emission. Frame = absolute
 	// slot, A = 1 when degraded, B = core.MotionKind.
@@ -85,6 +87,10 @@ const (
 	// KindTrigger marks a flight-recorder trigger. A = trigger reason
 	// ordinal (index into Reasons).
 	KindTrigger
+	// KindZUPT marks one zero-velocity (ZUPT) interval resolved by the
+	// movement detector. Frame = start slot, A = end slot (exclusive,
+	// window-local like KindSegment), B = interval confidence in permille.
+	KindZUPT
 
 	numKinds
 )
@@ -107,6 +113,7 @@ var kindNames = [numKinds]string{
 	KindEstimate:      "estimate",
 	KindLag:           "lag",
 	KindTrigger:       "trigger",
+	KindZUPT:          "zupt",
 }
 
 // String implements fmt.Stringer.

@@ -1,0 +1,85 @@
+package session
+
+import (
+	"math"
+	"sync"
+
+	"rim/internal/core"
+	"rim/internal/fusion"
+	"rim/internal/geom"
+)
+
+// Per-session fusion: when Config.Fusion is set, every session runs one
+// fusion.Backend over its finalized estimate stream and exposes the fused
+// pose via Session.Pose / the /sessions listing. The fuser mirrors
+// core.Result.Reckon's kinematics — body heading integrated from AngVel,
+// world course = body heading + body-frame motion direction — but feeds
+// the increments through the configured backend instead of summing them,
+// so ZUPT-confirmed static slots discharge accumulated bias (ESKF) or
+// the particle cloud's spread (particle backend with a floorplan).
+
+// fuser drives one session's fusion backend. The worker goroutine is the
+// only writer (recordEstimates); Pose is read concurrently by the
+// /sessions listing, hence the mutex.
+type fuser struct {
+	mu     sync.Mutex
+	b      fusion.Backend
+	dt     float64
+	theta  float64 // integrated body heading, rad
+	course float64 // last world-frame course fed to the backend
+	pose   geom.Pose
+}
+
+// newFuser builds a session's backend from the registry-level template,
+// fixing the step duration to the session's slot rate. Sessions track from
+// the origin: the wire protocol carries no absolute start pose, so fused
+// poses are relative to the session's first frame.
+func newFuser(cfg fusion.Config, rate float64) (*fuser, error) {
+	if cfg.StepSeconds <= 0 {
+		cfg.StepSeconds = 1 / rate
+	}
+	b, err := fusion.New(nil, geom.Pose{}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &fuser{b: b, dt: cfg.StepSeconds}, nil
+}
+
+// feed advances the backend by one finalized estimate batch.
+func (f *fuser) feed(ests []core.Estimate) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range ests {
+		e := &ests[i]
+		f.theta = geom.NormalizeAngle(f.theta + e.AngVel*f.dt)
+		in := fusion.Input{ZUPT: !e.Moving && !e.Degraded}
+		// Quality mirrors core.Result.QualitySeries: static slots are fully
+		// trusted (zero motion is RIM's most reliable call), moving slots
+		// carry their alignment confidence, degraded slots are capped low.
+		switch {
+		case !e.Moving:
+			in.Quality = 1
+		case e.Confidence > 0:
+			in.Quality = e.Confidence
+		default:
+			in.Quality = 0.5
+		}
+		if e.Degraded && in.Quality > 0.3 {
+			in.Quality = 0.3
+		}
+		if e.Moving && e.Kind == core.MotionTranslate && !math.IsNaN(e.HeadingBody) {
+			course := geom.NormalizeAngle(f.theta + e.HeadingBody)
+			in.DistDelta = e.Speed * f.dt
+			in.ThetaDelta = geom.NormalizeAngle(course - f.course)
+			f.course = course
+		}
+		f.pose = f.b.Step(in)
+	}
+}
+
+// Pose returns the latest fused pose.
+func (f *fuser) Pose() geom.Pose {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.pose
+}

@@ -1,0 +1,65 @@
+package session
+
+import (
+	"math"
+	"testing"
+
+	"rim/internal/core"
+	"rim/internal/fusion"
+)
+
+// TestFuserPoseFollowsMovingEstimates is the regression test for the
+// frozen-daemon-pose bug: a fuser fed a stream of translate estimates must
+// advance its pose along the walk, and a trailing static run must leave it
+// where the walk stopped (ZUPT steps carry no distance).
+func TestFuserPoseFollowsMovingEstimates(t *testing.T) {
+	for _, kind := range []fusion.BackendKind{fusion.BackendParticle, fusion.BackendESKF} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := fusion.DefaultConfig(5)
+			cfg.Backend = kind
+			f, err := newFuser(cfg, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ests := make([]core.Estimate, 300)
+			for i := range ests {
+				e := &ests[i]
+				e.HeadingBody = math.NaN()
+				if i >= 50 && i < 250 { // 2 s straight walk at 1 m/s
+					e.Moving = true
+					e.Kind = core.MotionTranslate
+					e.Speed = 1
+					e.HeadingBody = 0
+					e.Confidence = 0.9
+				}
+			}
+			f.feed(ests)
+
+			pose := f.Pose()
+			dist := math.Hypot(pose.Pos.X, pose.Pos.Y)
+			if dist < 1.5 || dist > 2.5 {
+				t.Errorf("fused pose %.3f m from origin, want ~2 m: %+v", dist, pose)
+			}
+
+			// The trailing pause is all ZUPT: the pose must not drift.
+			f.feed(make([]core.Estimate, 100))
+			after := f.Pose()
+			if moved := math.Hypot(after.Pos.X-pose.Pos.X, after.Pos.Y-pose.Pos.Y); moved > 0.1 {
+				t.Errorf("pose drifted %.3f m across a static run", moved)
+			}
+		})
+	}
+}
+
+// TestNewFuserDefaultsStepToRate pins the dt fallback: a template config
+// without StepSeconds inherits the session's slot rate.
+func TestNewFuserDefaultsStepToRate(t *testing.T) {
+	f, err := newFuser(fusion.DefaultConfig(1), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.dt != 0.02 {
+		t.Errorf("dt = %v, want 0.02", f.dt)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"rim/internal/core"
+	"rim/internal/geom"
 	"rim/internal/obs"
 )
 
@@ -449,6 +450,9 @@ type SessionInfo struct {
 	Restarts   int         `json:"restarts_total"`
 	Estimates  int         `json:"estimates"`
 	Health     core.Health `json:"health"`
+	// Pose is the session's latest fused pose (present only when the
+	// registry runs with a fusion backend configured).
+	Pose *geom.Pose `json:"pose,omitempty"`
 }
 
 // Infos returns the /sessions listing.
@@ -457,14 +461,19 @@ func (r *Registry) Infos() []SessionInfo {
 	out := make([]SessionInfo, 0, len(sessions))
 	for _, s := range sessions {
 		_, total := s.Restarts()
-		out = append(out, SessionInfo{
+		info := SessionInfo{
 			ID:         s.ID,
 			State:      s.State(),
 			QueueDepth: s.QueueDepth(),
 			Restarts:   total,
 			Estimates:  s.Estimates(),
 			Health:     s.Health(),
-		})
+		}
+		if pose, ok := s.Pose(); ok {
+			p := pose
+			info.Pose = &p
+		}
+		out = append(out, info)
 	}
 	return out
 }

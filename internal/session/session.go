@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"rim/internal/core"
+	"rim/internal/fusion"
+	"rim/internal/geom"
 	"rim/internal/obs"
 	"rim/internal/obs/trace"
 )
@@ -119,6 +121,12 @@ type Config struct {
 	CheckpointEveryFrames int
 	// Emit, when non-nil, receives every batch of finalized estimates.
 	Emit func(id string, ests []core.Estimate)
+	// Fusion, when non-nil, runs a fusion backend (fusion.Config.Backend
+	// selects particle filter or ESKF) over every session's finalized
+	// estimates; the fused pose is exposed via Session.Pose and the
+	// /sessions listing. The config is a template: each session gets its
+	// own backend instance with StepSeconds fixed to its slot rate.
+	Fusion *fusion.Config
 	// Metrics receives the session-layer counters (nil = no-op bundle).
 	Metrics *Metrics
 	// Breaker is the daemon-wide circuit breaker fed by session failures
@@ -184,6 +192,7 @@ type Session struct {
 	cfg Config
 	q   *frameQueue
 	rng *rand.Rand // backoff jitter; worker-goroutine only
+	fus *fuser     // per-session fusion backend (nil = fusion off)
 
 	mu        sync.Mutex
 	state     State
@@ -228,8 +237,24 @@ func newSession(id string, spec Spec, cfg Config, cp *core.StreamCheckpoint) (*S
 		done:   make(chan struct{}),
 		wake:   make(chan struct{}),
 	}
+	if cfg.Fusion != nil {
+		fus, err := newFuser(*cfg.Fusion, spec.Rate)
+		if err != nil {
+			return nil, fmt.Errorf("session %q fusion backend: %w", id, err)
+		}
+		s.fus = fus
+	}
 	go s.run()
 	return s, nil
+}
+
+// Pose returns the latest fused pose (relative to the session's first
+// frame) and whether fusion is enabled for this session.
+func (s *Session) Pose() (geom.Pose, bool) {
+	if s.fus == nil {
+		return geom.Pose{}, false
+	}
+	return s.fus.Pose(), true
 }
 
 // State returns the session's lifecycle state.
@@ -560,6 +585,9 @@ func (s *Session) recordEstimates(ests []core.Estimate) {
 	s.mu.Lock()
 	s.estimates += len(ests)
 	s.mu.Unlock()
+	if s.fus != nil {
+		s.fus.feed(ests)
+	}
 	if s.cfg.Emit != nil {
 		s.cfg.Emit(s.ID, ests)
 	}

@@ -209,10 +209,26 @@ type (
 	IMUReading = imu.Reading
 	// ParticleFilter is the map-constrained filter of Fig. 21.
 	ParticleFilter = fusion.Filter
+	// ESKF is the error-state Kalman filter backend with ZUPT
+	// pseudo-measurements.
+	ESKF = fusion.ESKF
+	// FusionBackend is the estimator interface both backends satisfy.
+	FusionBackend = fusion.Backend
+	// FusionBackendKind selects the backend NewFusionBackend constructs.
+	FusionBackendKind = fusion.BackendKind
 	// FusionInput is one dead-reckoning step for the filter.
 	FusionInput = fusion.Input
-	// FusionConfig parameterizes the particle filter.
+	// FusionConfig parameterizes the fusion backends.
 	FusionConfig = fusion.Config
+	// ZUPTInterval is one confirmed zero-velocity interval from the
+	// movement detector.
+	ZUPTInterval = core.ZUPTInterval
+)
+
+// Fusion backend kinds.
+const (
+	FusionBackendParticle = fusion.BackendParticle
+	FusionBackendESKF     = fusion.BackendESKF
 )
 
 // DefaultIMUConfig returns a BNO055-like sensor model.
@@ -228,6 +244,15 @@ func NewParticleFilter(plan *Floorplan, initial Pose, cfg FusionConfig) *Particl
 
 // DefaultFusionConfig returns the Fig. 21 filter settings.
 func DefaultFusionConfig(seed int64) FusionConfig { return fusion.DefaultConfig(seed) }
+
+// NewFusionBackend constructs the backend selected by cfg.Backend
+// (particle filter or ESKF) around the known initial pose.
+func NewFusionBackend(plan *Floorplan, initial Pose, cfg FusionConfig) (FusionBackend, error) {
+	return fusion.New(plan, initial, cfg)
+}
+
+// ParseFusionBackend maps a flag value ("particle", "eskf") to its kind.
+func ParseFusionBackend(s string) (FusionBackendKind, bool) { return fusion.ParseBackend(s) }
 
 // System bundles an environment, an array, receiver impairments and the
 // pipeline configuration into the one-call simulation workflow used by the
