@@ -317,9 +317,17 @@ func reportDaemon(base string) {
 		}
 		return obs.Metric{}, false
 	}
+	// Counters that grew per-session labels snapshot as one entry per
+	// child; summing them (children plus the "other" overflow) recovers
+	// the fleet total a plain counter used to report.
 	value := func(name string) float64 {
-		m, _ := metric(name)
-		return m.Value
+		var total float64
+		for _, m := range hp.Metrics {
+			if m.Name == name {
+				total += m.Value
+			}
+		}
+		return total
 	}
 	fmt.Printf("daemon (%s):\n", base)
 	fmt.Printf("  sessions:         %d (%v), breaker %s\n", hp.Health.Sessions, hp.Health.ByState, hp.Health.Breaker)
@@ -329,34 +337,8 @@ func reportDaemon(base string) {
 	fmt.Printf("  hop deadlines:    %.0f\n", value("rim_hop_deadline_exceeded_total"))
 	fmt.Printf("  frames dropped:   %.0f\n", value("rim_session_frames_dropped_total"))
 	if m, ok := metric("rim_stream_lag_seconds"); ok && m.Count > 0 {
-		fmt.Printf("  p99 ingest→emit:  %.3fs (%d lag samples)\n", bucketQuantile(m, 0.99), m.Count)
+		fmt.Printf("  p99 ingest→emit:  %.3fs (%d lag samples)\n", obs.QuantileFromBuckets(m, 0.99), m.Count)
 	} else {
 		fmt.Printf("  p99 ingest→emit:  n/a (no lag samples)\n")
 	}
-}
-
-// bucketQuantile estimates a quantile from a cumulative bucket snapshot
-// with linear interpolation inside the winning bucket (the same estimate
-// Prometheus' histogram_quantile makes).
-func bucketQuantile(m obs.Metric, q float64) float64 {
-	if m.Count == 0 || len(m.Buckets) == 0 {
-		return 0
-	}
-	target := q * float64(m.Count)
-	lowerBound, lowerCum := 0.0, uint64(0)
-	for _, b := range m.Buckets {
-		if float64(b.CumulativeCount) >= target {
-			span := float64(b.CumulativeCount - lowerCum)
-			if span <= 0 {
-				return b.UpperBound
-			}
-			frac := (target - float64(lowerCum)) / span
-			if b.UpperBound > 1e18 { // +Inf overflow bucket
-				return lowerBound
-			}
-			return lowerBound + (b.UpperBound-lowerBound)*frac
-		}
-		lowerBound, lowerCum = b.UpperBound, b.CumulativeCount
-	}
-	return lowerBound
 }

@@ -13,21 +13,28 @@
 //	          [-hop-deadline 0] [-span 3] [-hop 0.5]
 //	          [-checkpoint-dir dir] [-checkpoint-every 5s]
 //	          [-postmortem-out dir] [-fusion off|particle|eskf]
+//	          [-metric-cardinality 0] [-confidence-floor 0]
+//	          [-slo-window 5m] [-slo-interval 5s] [-slo-lag-le 1.0]
+//	          [-slo-lag-target 0.99] [-slo-degraded-target 0.95]
 //
 // On SIGINT/SIGTERM the daemon drains every session, persists final
 // checkpoints and exits; on the next start it restores them and resumes.
 // A SIGKILL loses at most one checkpoint interval per session.
+//
+// Observability: /metrics carries per-session labeled series (bounded by
+// -metric-cardinality; colder sessions fold into {session="other"}), /slo
+// reports sliding-window error budgets — fleet objectives plus a
+// lag/degraded pair per live session — and a fast-burn page captures a
+// flight-recorder postmortem bundle. The rimtop command renders all of it.
 package main
 
 import (
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -39,6 +46,7 @@ import (
 	"rim/internal/experiments"
 	"rim/internal/fusion"
 	"rim/internal/obs"
+	"rim/internal/obs/slo"
 	"rim/internal/obs/trace"
 	"rim/internal/session"
 )
@@ -80,6 +88,15 @@ func main() {
 	ckptEvery := flag.Duration("checkpoint-every", 5*time.Second, "checkpoint persistence interval")
 	pmOut := flag.String("postmortem-out", "", "directory flight-recorder postmortem bundles are written to")
 	fusionName := flag.String("fusion", "off", "per-session fusion backend: off, particle, eskf (fused poses appear in /sessions)")
+	metricCard := flag.Int("metric-cardinality", 0, "max labeled series per metric family; colder sessions fold into {session=\"other\"} (0 = default)")
+	confFloor := flag.Float64("confidence-floor", 0, "count moving estimates below this confidence toward the confidence SLO (0 disables)")
+	sloWindow := flag.Duration("slo-window", 5*time.Minute, "SLO error-budget window")
+	sloEvery := flag.Duration("slo-interval", 5*time.Second, "SLO evaluation and per-session objective sync interval")
+	sloLagLE := flag.Float64("slo-lag-le", 1.0, "lag SLO: an estimate is good when ingest-to-emit lag is at most this many seconds; keep it above the structural floor of about one -hop (0 disables lag objectives)")
+	sloLagTarget := flag.Float64("slo-lag-target", 0.99, "lag SLO good-fraction target")
+	sloDegTarget := flag.Float64("slo-degraded-target", 0.95, "degraded SLO: required fraction of estimates emitted non-degraded (0 disables)")
+	sloConfTarget := flag.Float64("slo-conf-target", 0, "confidence SLO: required fraction of moving estimates at or above -confidence-floor (0 disables)")
+	sloSessDegTarget := flag.Float64("slo-session-degraded-target", 0, "per-session degraded SLO target; a single bad walker needs a tighter target than the diluted fleet ratio (0 = use -slo-degraded-target)")
 	flag.Parse()
 
 	policy, ok := session.ParsePolicy(*policyName)
@@ -161,6 +178,7 @@ func main() {
 		return core.NewStreamer(scfg, spec.Rate, spec.NumAnts, spec.NumTx, spec.NumSub)
 	}
 
+	metrics := session.NewMetricsCap(reg, *metricCard)
 	registry, err := session.NewRegistry(session.RegistryConfig{
 		Shards:          *shards,
 		MaxSessions:     *maxSessions,
@@ -174,10 +192,11 @@ func main() {
 			Policy:           policy,
 			MaxRestarts:      *maxRestarts,
 			FailureThreshold: *failThresh,
-			Metrics:          session.NewMetrics(reg),
+			Metrics:          metrics,
 			Flight:           quarantineFlight,
 			Log:              log,
 			Fusion:           fusionCfg,
+			ConfidenceFloor:  *confFloor,
 		},
 	})
 	if err != nil {
@@ -187,12 +206,53 @@ func main() {
 		log.Info("sessions restored from checkpoints", "count", n, "dir", *ckptDir)
 	}
 
+	// SLO engine: fleet objectives over the process-wide signals, plus a
+	// per-session lag/degraded pair synced against the live fleet. A page
+	// (fast burn on both windows) captures its own postmortem bundle so
+	// the breach arrives with the trace that explains it.
+	sloFlight := trace.NewFlight(trace.FlightConfig{
+		Recorder: rec,
+		Registry: reg,
+		Dir:      *pmOut,
+		Trigger:  func(reason string) bool { return reason == trace.ReasonSLOBreach },
+		Health:   registryHealth,
+		Log:      log,
+	})
+	sloEng := slo.New(slo.Config{
+		Obs: reg,
+		OnPage: func(o slo.Objective, s slo.Status) {
+			log.Warn("SLO paging", "slo", o.Name, "entity", o.Entity,
+				"burn_short", s.BurnShort, "burn_long", s.BurnLong,
+				"budget_remaining", s.BudgetRemaining)
+			sloFlight.Offer(trace.ReasonSLOBreach, -1, s)
+		},
+	})
+	registerFleetSLOs(sloEng, reg, metrics, sloParams{
+		window:     *sloWindow,
+		lagLE:      *sloLagLE,
+		lagTarget:  *sloLagTarget,
+		degTarget:  *sloDegTarget,
+		confTarget: *sloConfTarget,
+	})
+	sessDegTarget := *sloSessDegTarget
+	if sessDegTarget == 0 {
+		sessDegTarget = *sloDegTarget
+	}
+	sloStop := make(chan struct{})
+	go sloLoop(sloEng, registry, metrics, sloParams{
+		window:    *sloWindow,
+		lagLE:     *sloLagLE,
+		lagTarget: *sloLagTarget,
+		degTarget: sessDegTarget,
+	}, *sloEvery, sloStop)
+
 	if *debugAddr != "" {
 		srv, addr, err := obs.StartDebugServer(*debugAddr, reg,
 			func() any { return registry.Health() },
 			obs.Route{Pattern: "/debug/rimtrace", Handler: trace.Handler(rec)},
 			obs.Route{Pattern: "/debug/postmortem", Handler: flight.Handler()},
-			obs.Route{Pattern: "/sessions", Handler: sessionsHandler(registry)},
+			obs.Route{Pattern: "/sessions", Handler: registry.InfosHandler()},
+			obs.Route{Pattern: "/slo", Handler: sloEng.Handler()},
 		)
 		if err != nil {
 			fatal(err)
@@ -228,9 +288,149 @@ func main() {
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	sig := <-stop
 	log.Info("shutting down", "signal", sig.String())
+	close(sloStop)
 	ln.Close()
 	registry.Shutdown()
 	log.Info("shutdown complete")
+}
+
+// sloParams bundles the objective knobs shared by the fleet and
+// per-session registrations.
+type sloParams struct {
+	window     time.Duration
+	lagLE      float64
+	lagTarget  float64
+	degTarget  float64
+	confTarget float64
+}
+
+// registerFleetSLOs installs the process-wide objectives: ingest-to-emit
+// lag p-quantile, degraded-estimate share, and (when a confidence floor is
+// configured) the low-confidence share.
+func registerFleetSLOs(eng *slo.Engine, reg *obs.Registry, m *session.Metrics, p sloParams) {
+	if p.lagLE > 0 {
+		// Registering before any streamer exists is fine: Timer returns
+		// the same histogram the stream layer later resolves by name.
+		lagH := reg.Timer("rim_stream_lag_seconds", "ingest-to-emit latency of the newest slot finalized per hop")
+		eng.Register(slo.Objective{
+			Name:   "fleet/lag",
+			Entity: "fleet",
+			Target: p.lagTarget,
+			Window: p.window,
+			Source: slo.LatencySource(lagH, p.lagLE),
+		})
+	}
+	if p.degTarget > 0 {
+		eng.Register(slo.Objective{
+			Name:   "fleet/degraded",
+			Entity: "fleet",
+			Target: p.degTarget,
+			Window: p.window,
+			Source: familyRatioSource(m.EstDegraded, m.Estimates),
+		})
+	}
+	if p.confTarget > 0 {
+		eng.Register(slo.Objective{
+			Name:   "fleet/confidence",
+			Entity: "fleet",
+			Target: p.confTarget,
+			Window: p.window,
+			Source: familyRatioSource(m.LowConf, m.Estimates),
+		})
+	}
+}
+
+// familyRatioSource reads cumulative (good, total) off two counter
+// families' fleet totals (evictions fold into "other", so totals are
+// conserved across any cardinality churn).
+func familyRatioSource(bad, total *obs.CounterFamily) slo.Source {
+	return func() slo.Sample {
+		t := float64(total.Total())
+		return slo.Sample{Good: t - float64(bad.Total()), Total: t}
+	}
+}
+
+// sessionRatioSource is familyRatioSource scoped to one session's
+// children. Get (never With) so a closed session cannot resurrect its
+// labeled series; a missing child reads as "no traffic", which holds the
+// objective at ok until the sync loop unregisters it.
+func sessionRatioSource(bad, total *obs.CounterFamily, id string) slo.Source {
+	return func() slo.Sample {
+		tc, ok := total.Get(id)
+		if !ok {
+			return slo.Sample{}
+		}
+		t := float64(tc.Value())
+		var b float64
+		if bc, ok := bad.Get(id); ok {
+			b = float64(bc.Value())
+		}
+		return slo.Sample{Good: t - b, Total: t}
+	}
+}
+
+// sessionLagSource reads one session's lag histogram child.
+func sessionLagSource(lag *obs.HistogramFamily, id string, le float64) slo.Source {
+	return func() slo.Sample {
+		h, ok := lag.Get(id)
+		if !ok {
+			return slo.Sample{}
+		}
+		return slo.Sample{Good: float64(h.CountAtOrBelow(le)), Total: float64(h.Count())}
+	}
+}
+
+// sloLoop keeps per-session objectives in step with the live fleet and
+// ticks the engine. Objectives are named session/<id>/{lag,degraded} with
+// Entity = the session id, which is how rimtop joins budgets to rows.
+func sloLoop(eng *slo.Engine, registry *session.Registry, m *session.Metrics, p sloParams, every time.Duration, stop <-chan struct{}) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	tracked := map[string]bool{}
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		live := map[string]bool{}
+		for _, info := range registry.Infos() {
+			live[info.ID] = true
+		}
+		for id := range live {
+			if tracked[id] {
+				continue
+			}
+			tracked[id] = true
+			if p.lagLE > 0 {
+				eng.Register(slo.Objective{
+					Name:   "session/" + id + "/lag",
+					Entity: id,
+					Target: p.lagTarget,
+					Window: p.window,
+					Source: sessionLagSource(m.Lag, id, p.lagLE),
+				})
+			}
+			if p.degTarget > 0 {
+				eng.Register(slo.Objective{
+					Name:   "session/" + id + "/degraded",
+					Entity: id,
+					Target: p.degTarget,
+					Window: p.window,
+					Source: sessionRatioSource(m.EstDegraded, m.Estimates, id),
+				})
+			}
+		}
+		for id := range tracked {
+			if live[id] {
+				continue
+			}
+			delete(tracked, id)
+			eng.Unregister("session/" + id + "/lag")
+			eng.Unregister("session/" + id + "/degraded")
+		}
+		eng.Tick(time.Now())
+	}
 }
 
 // serveConn pumps one producer connection: preamble check, then a message
@@ -275,16 +475,4 @@ func serveConn(conn net.Conn, registry *session.Registry, log *slog.Logger) {
 			}
 		}
 	}
-}
-
-// sessionsHandler serves the /sessions JSON listing.
-func sessionsHandler(registry *session.Registry) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(registry.Infos()); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
 }

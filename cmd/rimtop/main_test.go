@@ -1,0 +1,100 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const promFixture = `# HELP rim_session_lag_seconds per-session lag
+# TYPE rim_session_lag_seconds histogram
+rim_session_lag_seconds_bucket{session="a",le="0.001"} 10
+rim_session_lag_seconds_bucket{session="a",le="0.01"} 90
+rim_session_lag_seconds_bucket{session="a",le="+Inf"} 100
+rim_session_lag_seconds_sum{session="a"} 0.42
+rim_session_lag_seconds_count{session="a"} 100
+rim_session_lag_seconds_bucket{session="weird \"b\\",le="+Inf"} 5
+rim_session_lag_seconds_sum{session="weird \"b\\"} 1
+rim_session_lag_seconds_count{session="weird \"b\\"} 5
+# TYPE rim_session_queue_depth gauge
+rim_session_queue_depth 7
+rim_shed_total{reason="breaker",shard="0"} 3
+`
+
+func TestParsePromAndQuantile(t *testing.T) {
+	samples, err := parseProm(strings.NewReader(promFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := metricIndex{samples: samples}
+	if got := ix.gauge("rim_session_queue_depth"); got != 7 {
+		t.Fatalf("gauge = %v, want 7", got)
+	}
+	if got := ix.sum("rim_shed_total"); got != 3 {
+		t.Fatalf("sum = %v, want 3", got)
+	}
+	// 99th percentile of session a: 90 of 100 obs at or below 0.01, so the
+	// answer interpolates inside the (0.01, +Inf] bucket and clamps to the
+	// lower bound 0.01.
+	if got := ix.p99("rim_session_lag_seconds", "session", "a"); math.Abs(got-0.01) > 1e-12 {
+		t.Fatalf("p99 = %v, want 0.01", got)
+	}
+	// Escaped label values round-trip: quote and backslash.
+	m := ix.histogram("rim_session_lag_seconds", "session", `weird "b\`)
+	if m.Count != 5 {
+		t.Fatalf("escaped-label child count = %d, want 5", m.Count)
+	}
+	if got := ix.p99("rim_session_lag_seconds", "session", "absent"); !math.IsNaN(got) {
+		t.Fatalf("absent child p99 = %v, want NaN", got)
+	}
+}
+
+func TestParsePromRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		`rim_x{unterminated="v 1`,
+		`rim_x{a="v"} notanumber`,
+		`rim_x{noquote=v} 1`,
+	} {
+		if _, err := parseProm(strings.NewReader(bad)); err == nil {
+			t.Fatalf("parse accepted %q", bad)
+		}
+	}
+}
+
+func TestWorstFirstOrdering(t *testing.T) {
+	nan := jsonFloat(math.NaN())
+	rows := []row{
+		{ID: "healthy", State: "running", BudgetRemaining: jsonFloat(0.9)},
+		{ID: "paging", State: "running", SLOState: "page", BudgetRemaining: jsonFloat(0)},
+		{ID: "quarantined", State: "quarantined", BudgetRemaining: nan},
+		{ID: "warned", State: "running", SLOState: "warn", BudgetRemaining: jsonFloat(0.4)},
+		{ID: "laggy", State: "running", LagP99Seconds: jsonFloat(2), BudgetRemaining: nan},
+		{ID: "degraded", State: "running", DegradedRatio: 0.5, BudgetRemaining: nan},
+	}
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			ri, rj := rows[i], rows[j]
+			if !worse(ri, rj) && !worse(rj, ri) && ri.ID != rj.ID {
+				continue // ties allowed, but not for this fixture
+			}
+		}
+	}
+	got := make([]string, 0, len(rows))
+	ordered := append([]row(nil), rows...)
+	for i := range ordered {
+		best := i
+		for j := i + 1; j < len(ordered); j++ {
+			if worse(ordered[j], ordered[best]) {
+				best = j
+			}
+		}
+		ordered[i], ordered[best] = ordered[best], ordered[i]
+		got = append(got, ordered[i].ID)
+	}
+	want := []string{"paging", "warned", "quarantined", "degraded", "laggy", "healthy"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}

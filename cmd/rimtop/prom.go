@@ -1,0 +1,214 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rim/internal/obs"
+)
+
+// sample is one parsed Prometheus text-format series: a metric name, its
+// label set, and the current value. The parser understands exactly the
+// subset the obs writer emits (text format v0.0.4, one series per line).
+type sample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// label returns the sample's value for key ("" when absent).
+func (s sample) label(key string) string { return s.labels[key] }
+
+// parseProm parses a /metrics payload. Comment lines (# HELP, # TYPE) and
+// blanks are skipped; malformed lines abort with an error naming the line,
+// because a half-parsed scrape silently hides sessions.
+func parseProm(r io.Reader) ([]sample, error) {
+	var out []sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parsePromLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics line %d: %w", ln, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parsePromLine(line string) (sample, error) {
+	s := sample{}
+	name := line
+	rest := ""
+	if i := strings.IndexAny(line, "{ "); i >= 0 {
+		name, rest = line[:i], line[i:]
+	}
+	s.name = name
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote, esc := false, false
+		for i := 1; i < len(rest); i++ {
+			c := rest[i]
+			switch {
+			case esc:
+				esc = false
+			case c == '\\' && inQuote:
+				esc = true
+			case c == '"':
+				inQuote = !inQuote
+			case c == '}' && !inQuote:
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set")
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return s, err
+		}
+		s.labels = labels
+		rest = rest[end+1:]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q", strings.TrimSpace(rest))
+	}
+	s.value = v
+	return s, nil
+}
+
+func parseLabels(in string) (map[string]string, error) {
+	out := map[string]string{}
+	for len(in) > 0 {
+		eq := strings.IndexByte(in, '=')
+		if eq < 0 || eq+1 >= len(in) || in[eq+1] != '"' {
+			return nil, fmt.Errorf("bad label pair near %q", in)
+		}
+		key := in[:eq]
+		var val strings.Builder
+		i := eq + 2
+		for ; i < len(in); i++ {
+			c := in[i]
+			if c == '\\' && i+1 < len(in) {
+				i++
+				switch in[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(in[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(in) {
+			return nil, fmt.Errorf("unterminated label value for %q", key)
+		}
+		out[key] = val.String()
+		in = in[i+1:]
+		in = strings.TrimPrefix(in, ",")
+	}
+	return out, nil
+}
+
+// metricIndex groups samples for quantile and aggregate lookups.
+type metricIndex struct {
+	samples []sample
+}
+
+// gauge returns the value of the named plain series (NaN when absent).
+func (ix metricIndex) gauge(name string) float64 {
+	for _, s := range ix.samples {
+		if s.name == name && len(s.labels) == 0 {
+			return s.value
+		}
+	}
+	return math.NaN()
+}
+
+// sum adds every series of name, labeled or not — the right read for a
+// counter that grew labels (children + "other" still sum to the total).
+func (ix metricIndex) sum(name string) float64 {
+	total, seen := 0.0, false
+	for _, s := range ix.samples {
+		if s.name == name {
+			total += s.value
+			seen = true
+		}
+	}
+	if !seen {
+		return math.NaN()
+	}
+	return total
+}
+
+// histogram reassembles one histogram child (filtered by label key/value;
+// pass "" to take only the unlabeled series) into an obs.Metric so
+// obs.QuantileFromBuckets can interpolate on it.
+func (ix metricIndex) histogram(name, key, val string) obs.Metric {
+	m := obs.Metric{Name: name, Type: "histogram"}
+	type bkt struct {
+		le float64
+		n  uint64
+	}
+	var bkts []bkt
+	match := func(s sample) bool {
+		if key == "" {
+			return len(s.labels) == 0 || (len(s.labels) == 1 && s.labels["le"] != "")
+		}
+		return s.labels[key] == val
+	}
+	for _, s := range ix.samples {
+		switch s.name {
+		case name + "_bucket":
+			if !match(s) {
+				continue
+			}
+			le, err := strconv.ParseFloat(s.labels["le"], 64)
+			if err != nil {
+				continue
+			}
+			bkts = append(bkts, bkt{le, uint64(s.value)})
+		case name + "_count":
+			if match(s) {
+				m.Count = uint64(s.value)
+			}
+		case name + "_sum":
+			if match(s) {
+				m.Sum = s.value
+			}
+		}
+	}
+	sort.Slice(bkts, func(i, j int) bool { return bkts[i].le < bkts[j].le })
+	for _, b := range bkts {
+		m.Buckets = append(m.Buckets, obs.Bucket{UpperBound: b.le, CumulativeCount: b.n})
+	}
+	return m
+}
+
+// p99 is the bucket-interpolated 99th percentile of a histogram child
+// (NaN when the child is absent or empty).
+func (ix metricIndex) p99(name, key, val string) float64 {
+	return obs.QuantileFromBuckets(ix.histogram(name, key, val), 0.99)
+}

@@ -192,6 +192,39 @@ type Streamer struct {
 	ingestNs []int64
 	t0       time.Time
 	lagOn    bool
+
+	// perObs holds per-entity metric children attached by the host (the
+	// session layer resolves them from labeled families); all nil when
+	// the stream is not attributed to an entity.
+	perObs PerStreamObs
+}
+
+// PerStreamObs carries per-entity metric children a host resolves from
+// labeled metric families and attaches to one streamer, so fleet daemons
+// can attribute stream signals per session on top of the process-global
+// streamObs counters. Zero value disables attribution.
+type PerStreamObs struct {
+	// Lag receives the same ingest-to-emit watermark samples as
+	// rim_stream_lag_seconds, attributed to this stream.
+	Lag *obs.Histogram
+}
+
+// SetPerStreamObs attaches per-entity metric children (see PerStreamObs).
+// Safe to call mid-stream: enabling the lag path late backfills ingest
+// timestamps for already-buffered slots (their lag reads near zero; the
+// distribution is correct from the next slot on).
+func (st *Streamer) SetPerStreamObs(po PerStreamObs) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.perObs = po
+	wasOn := st.lagOn
+	st.lagOn = st.trc != nil || st.ob.lagH != nil || po.Lag != nil
+	if st.lagOn && !wasOn {
+		now := st.nowNs()
+		for len(st.ingestNs) < st.bufLen() {
+			st.ingestNs = append(st.ingestNs, now)
+		}
+	}
 }
 
 // streamObs bundles the streamer's metric handles, resolved once in
@@ -783,6 +816,7 @@ func (st *Streamer) analyze(flush bool, ctx context.Context) ([]Estimate, error)
 			now := st.nowNs()
 			lagSec := float64(now-start) / 1e9
 			st.ob.lagH.Observe(lagSec)
+			st.perObs.Lag.Observe(lagSec)
 			st.ob.lagG.Set(lagSec)
 			st.trc.EmitAt(trace.KindLag, hop, int64(st.dropped+local), 0, 0, start, now-start)
 		}

@@ -140,7 +140,7 @@ func NewESKF(initial geom.Pose, cfg Config) *ESKF {
 			"particle-filter dead-reckoning steps processed")
 		f.zuptUpdates = cfg.Obs.Counter("rim_fusion_zupt_updates_total",
 			"ESKF steps that applied zero-velocity pseudo-measurements")
-		f.qualityH = cfg.Obs.Histogram("rim_fusion_quality",
+		f.qualityH = cfg.Obs.Histogram("rim_fusion_quality_ratio",
 			"per-step RIM input quality weight in (0,1]",
 			[]float64{0.1, 0.25, 0.5, 0.75, 0.9, 1})
 	}

@@ -129,7 +129,7 @@ func NewFilter(plan *floorplan.Plan, initial geom.Pose, cfg Config) *Filter {
 			"systematic resampling passes triggered by weight degeneracy")
 		f.revivals = cfg.Obs.Counter("rim_fusion_revivals_total",
 			"cloud revivals after every particle hit a wall")
-		f.qualityH = cfg.Obs.Histogram("rim_fusion_quality",
+		f.qualityH = cfg.Obs.Histogram("rim_fusion_quality_ratio",
 			"per-step RIM input quality weight in (0,1]",
 			[]float64{0.1, 0.25, 0.5, 0.75, 0.9, 1})
 		f.aliveGauge = cfg.Obs.Gauge("rim_fusion_particles_alive",

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LintMetricNames walks a registry snapshot and returns one violation
+// string per metric that breaks the repo's Prometheus naming conventions:
+//
+//   - names match the Prometheus charset (validName)
+//   - counters end in _total (and nothing else does)
+//   - histograms carry a base-unit suffix: _seconds, _bytes, or _ratio
+//     for unitless distributions in [0,1]
+//   - label names match the charset and do not start with __ (reserved)
+//
+// An empty result means the exposition is clean. Tests assert on this so
+// a new metric with a drive-by name breaks CI instead of dashboards.
+func LintMetricNames(snap []Metric) []string {
+	var bad []string
+	seen := map[string]bool{}
+	for _, m := range snap {
+		for l := range m.Labels {
+			if !validName.MatchString(l) || strings.HasPrefix(l, "__") {
+				bad = append(bad, fmt.Sprintf("%s: invalid label name %q", m.Name, l))
+			}
+		}
+		if seen[m.Name] {
+			continue // one verdict per family, not per child
+		}
+		seen[m.Name] = true
+		if !validName.MatchString(m.Name) {
+			bad = append(bad, fmt.Sprintf("%s: invalid metric name charset", m.Name))
+			continue
+		}
+		switch m.Type {
+		case "counter":
+			if !strings.HasSuffix(m.Name, "_total") {
+				bad = append(bad, fmt.Sprintf("%s: counter must end in _total", m.Name))
+			}
+		case "gauge":
+			if strings.HasSuffix(m.Name, "_total") {
+				bad = append(bad, fmt.Sprintf("%s: gauge must not end in _total", m.Name))
+			}
+		case "histogram":
+			if !strings.HasSuffix(m.Name, "_seconds") &&
+				!strings.HasSuffix(m.Name, "_bytes") &&
+				!strings.HasSuffix(m.Name, "_ratio") {
+				bad = append(bad, fmt.Sprintf("%s: histogram must end in a base unit (_seconds, _bytes or _ratio)", m.Name))
+			}
+		default:
+			bad = append(bad, fmt.Sprintf("%s: unknown metric type %q", m.Name, m.Type))
+		}
+	}
+	sort.Strings(bad)
+	return bad
+}

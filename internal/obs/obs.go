@@ -36,6 +36,11 @@ var validName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 type Counter struct {
 	name, help string
 	v          atomic.Uint64
+	// fwd, when set, redirects increments into a family's overflow child:
+	// a label-set child evicted past its family's cardinality cap keeps
+	// counting — into "other" — instead of silently losing live handles'
+	// increments (see family.go).
+	fwd atomic.Pointer[Counter]
 }
 
 // Inc adds 1.
@@ -44,6 +49,10 @@ func (c *Counter) Inc() { c.Add(1) }
 // Add adds n (n is unsigned: counters only go up).
 func (c *Counter) Add(n uint64) {
 	if c == nil {
+		return
+	}
+	if f := c.fwd.Load(); f != nil {
+		f.v.Add(n)
 		return
 	}
 	c.v.Add(n)
@@ -61,11 +70,15 @@ func (c *Counter) Value() uint64 {
 type Gauge struct {
 	name, help string
 	bits       atomic.Uint64
+	// detached marks a gauge child evicted from its family: instantaneous
+	// values cannot be meaningfully merged into an overflow child the way
+	// counts can, so an evicted gauge's handle simply goes quiet.
+	detached atomic.Bool
 }
 
 // Set stores v.
 func (g *Gauge) Set(v float64) {
-	if g == nil {
+	if g == nil || g.detached.Load() {
 		return
 	}
 	g.bits.Store(math.Float64bits(v))
@@ -73,7 +86,7 @@ func (g *Gauge) Set(v float64) {
 
 // Add adds delta (CAS loop; gauges move both ways).
 func (g *Gauge) Add(delta float64) {
-	if g == nil {
+	if g == nil || g.detached.Load() {
 		return
 	}
 	for {
@@ -104,6 +117,10 @@ type Histogram struct {
 	infCount   atomic.Uint64
 	sumBits    atomic.Uint64 // float64 bits, CAS-added
 	count      atomic.Uint64
+	// fwd redirects observations into a family's overflow child after
+	// eviction, like Counter.fwd (the overflow child itself is never
+	// evicted, so chains cannot form).
+	fwd atomic.Pointer[Histogram]
 }
 
 // DefLatencyBuckets are the default stage-latency bucket bounds in
@@ -120,6 +137,10 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
+	if f := h.fwd.Load(); f != nil {
+		f.Observe(v)
+		return
+	}
 	// Binary search is overkill for <32 buckets; linear scan is
 	// branch-predictor friendly and allocation-free.
 	placed := false
@@ -134,6 +155,11 @@ func (h *Histogram) Observe(v float64) {
 		h.infCount.Add(1)
 	}
 	h.count.Add(1)
+	h.addSum(v)
+}
+
+// addSum CAS-adds v into the running sum.
+func (h *Histogram) addSum(v float64) {
 	for {
 		old := h.sumBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -141,6 +167,41 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// absorb drains src's buckets, counts and sum into h (family eviction:
+// both histograms share bucket bounds, as children of one family always
+// do). Observations racing the drain may be split across src and h for one
+// snapshot, the usual monitoring relaxation; nothing is double-counted.
+func (h *Histogram) absorb(src *Histogram) {
+	for i := range src.counts {
+		h.counts[i].Add(src.counts[i].Swap(0))
+	}
+	h.infCount.Add(src.infCount.Swap(0))
+	h.count.Add(src.count.Swap(0))
+	h.addSum(math.Float64frombits(src.sumBits.Swap(0)))
+}
+
+// CountAtOrBelow returns the number of observations recorded in buckets
+// whose upper bound is <= le — the "good events" reading an SLO needs from
+// a latency histogram (le should be one of the bucket bounds; an
+// in-between le conservatively excludes the straddling bucket). A +Inf le
+// returns Count(). Nil-safe (0).
+func (h *Histogram) CountAtOrBelow(le float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	if math.IsInf(le, 1) {
+		return h.count.Load()
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		if b > le {
+			break
+		}
+		cum += h.counts[i].Load()
+	}
+	return cum
 }
 
 // Count returns the number of observations (0 on nil).
@@ -234,7 +295,7 @@ func (s Span) End() {
 // (enforced repo-wide by `go vet -copylocks`).
 type Registry struct {
 	mu      sync.Mutex
-	metrics map[string]any // *Counter | *Gauge | *Histogram
+	metrics map[string]any // *Counter | *Gauge | *Histogram | *CounterFamily | *GaugeFamily | *HistogramFamily
 }
 
 // NewRegistry returns an empty registry.
@@ -379,6 +440,10 @@ type Metric struct {
 	Name string `json:"name"`
 	Help string `json:"help,omitempty"`
 	Type string `json:"type"` // "counter" | "gauge" | "histogram"
+	// Labels identifies one child of a labeled family (nil on plain
+	// metrics). Children of one family share Name and Type and appear as
+	// consecutive snapshot entries.
+	Labels map[string]string `json:"labels,omitempty"`
 	// Value carries counter and gauge readings.
 	Value float64 `json:"value,omitempty"`
 	// Count/Sum/Buckets carry histogram readings.
@@ -413,16 +478,28 @@ func (r *Registry) Snapshot() []Metric {
 		case *Gauge:
 			out = append(out, Metric{Name: n, Help: m.help, Type: "gauge", Value: m.Value()})
 		case *Histogram:
-			sm := Metric{Name: n, Help: m.help, Type: "histogram", Count: m.Count(), Sum: m.Sum()}
-			var cum uint64
-			for bi, b := range m.bounds {
-				cum += m.counts[bi].Load()
-				sm.Buckets = append(sm.Buckets, Bucket{UpperBound: b, CumulativeCount: cum})
-			}
-			cum += m.infCount.Load()
-			sm.Buckets = append(sm.Buckets, Bucket{UpperBound: math.Inf(1), CumulativeCount: cum})
-			out = append(out, sm)
+			out = append(out, snapshotHistogram(n, m.help, nil, m))
+		case *CounterFamily:
+			out = m.f.snapshotInto(out)
+		case *GaugeFamily:
+			out = m.f.snapshotInto(out)
+		case *HistogramFamily:
+			out = m.f.snapshotInto(out)
 		}
 	}
 	return out
+}
+
+// snapshotHistogram builds one histogram Metric (cumulative buckets plus
+// the mandatory +Inf overflow bucket).
+func snapshotHistogram(name, help string, labels map[string]string, m *Histogram) Metric {
+	sm := Metric{Name: name, Help: help, Type: "histogram", Labels: labels, Count: m.Count(), Sum: m.Sum()}
+	var cum uint64
+	for bi, b := range m.bounds {
+		cum += m.counts[bi].Load()
+		sm.Buckets = append(sm.Buckets, Bucket{UpperBound: b, CumulativeCount: cum})
+	}
+	cum += m.infCount.Load()
+	sm.Buckets = append(sm.Buckets, Bucket{UpperBound: math.Inf(1), CumulativeCount: cum})
+	return sm
 }

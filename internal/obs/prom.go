@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"io"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -36,48 +37,84 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// labelPairs renders a metric's label set as `name="value"` pairs (sorted
+// by label name, values escaped), without the surrounding braces so
+// histogram series can append the le pair. Empty for unlabeled metrics.
+func labelPairs(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(labels))
+	for n := range labels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(labels[n]))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+// writeSeries emits one sample line: name, optional label pairs in braces,
+// value.
+func writeSeries(bw *bufio.Writer, name, pairs, value string) {
+	bw.WriteString(name)
+	if pairs != "" {
+		bw.WriteByte('{')
+		bw.WriteString(pairs)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
 // WritePrometheus renders every registered metric in the Prometheus text
 // exposition format (version 0.0.4): # HELP / # TYPE headers, cumulative
 // histogram buckets with the mandatory +Inf bucket, _sum and _count
-// series. Metrics appear sorted by name. A nil registry writes nothing.
+// series. Metrics appear sorted by name; children of a labeled family
+// share one HELP/TYPE header and appear as consecutive labeled series.
+// A nil registry writes nothing.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	bw := bufio.NewWriter(w)
+	prev := ""
 	for _, m := range r.Snapshot() {
-		if m.Help != "" {
-			bw.WriteString("# HELP ")
+		if m.Name != prev {
+			prev = m.Name
+			if m.Help != "" {
+				bw.WriteString("# HELP ")
+				bw.WriteString(m.Name)
+				bw.WriteByte(' ')
+				bw.WriteString(escapeHelp(m.Help))
+				bw.WriteByte('\n')
+			}
+			bw.WriteString("# TYPE ")
 			bw.WriteString(m.Name)
 			bw.WriteByte(' ')
-			bw.WriteString(escapeHelp(m.Help))
+			bw.WriteString(m.Type)
 			bw.WriteByte('\n')
 		}
-		bw.WriteString("# TYPE ")
-		bw.WriteString(m.Name)
-		bw.WriteByte(' ')
-		bw.WriteString(m.Type)
-		bw.WriteByte('\n')
+		pairs := labelPairs(m.Labels)
 		switch m.Type {
 		case "histogram":
 			for _, b := range m.Buckets {
-				bw.WriteString(m.Name)
-				bw.WriteString(`_bucket{le="`)
-				bw.WriteString(escapeLabel(formatFloat(b.UpperBound)))
-				bw.WriteString(`"} `)
-				bw.WriteString(strconv.FormatUint(b.CumulativeCount, 10))
-				bw.WriteByte('\n')
+				le := `le="` + escapeLabel(formatFloat(b.UpperBound)) + `"`
+				if pairs != "" {
+					le = pairs + "," + le
+				}
+				writeSeries(bw, m.Name+"_bucket", le, strconv.FormatUint(b.CumulativeCount, 10))
 			}
-			bw.WriteString(m.Name)
-			bw.WriteString("_sum ")
-			bw.WriteString(formatFloat(m.Sum))
-			bw.WriteByte('\n')
-			bw.WriteString(m.Name)
-			bw.WriteString("_count ")
-			bw.WriteString(strconv.FormatUint(m.Count, 10))
-			bw.WriteByte('\n')
+			writeSeries(bw, m.Name+"_sum", pairs, formatFloat(m.Sum))
+			writeSeries(bw, m.Name+"_count", pairs, strconv.FormatUint(m.Count, 10))
 		default: // counter, gauge
-			bw.WriteString(m.Name)
-			bw.WriteByte(' ')
-			bw.WriteString(formatFloat(m.Value))
-			bw.WriteByte('\n')
+			writeSeries(bw, m.Name, pairs, formatFloat(m.Value))
 		}
 	}
 	return bw.Flush()

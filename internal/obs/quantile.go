@@ -1,0 +1,40 @@
+package obs
+
+import "math"
+
+// QuantileFromBuckets estimates the q-quantile (q in [0,1]) from a
+// snapshotted histogram's cumulative buckets by linear interpolation
+// inside the winning bucket — the same estimate Prometheus'
+// histogram_quantile makes, and the scrape-side counterpart of
+// Histogram.Quantile for consumers (rimloadgen, rimtop) that only hold a
+// Metric. Values landing in the +Inf overflow bucket clamp to the highest
+// finite bound. Returns NaN when the metric has no observations or no
+// buckets.
+func QuantileFromBuckets(m Metric, q float64) float64 {
+	if m.Count == 0 || len(m.Buckets) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(m.Count)
+	lowerBound, lowerCum := 0.0, uint64(0)
+	for _, b := range m.Buckets {
+		if float64(b.CumulativeCount) >= target {
+			if math.IsInf(b.UpperBound, 1) {
+				return lowerBound
+			}
+			span := float64(b.CumulativeCount - lowerCum)
+			if span <= 0 {
+				return b.UpperBound
+			}
+			frac := (target - float64(lowerCum)) / span
+			return lowerBound + (b.UpperBound-lowerBound)*frac
+		}
+		lowerBound, lowerCum = b.UpperBound, b.CumulativeCount
+	}
+	return lowerBound
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// fixtureMetric builds a histogram snapshot from (bound, cumulative)
+// pairs; the last pair should be the +Inf overflow bucket.
+func fixtureMetric(count uint64, pairs ...float64) Metric {
+	m := Metric{Type: "histogram", Count: count}
+	for i := 0; i < len(pairs); i += 2 {
+		m.Buckets = append(m.Buckets, Bucket{UpperBound: pairs[i], CumulativeCount: uint64(pairs[i+1])})
+	}
+	return m
+}
+
+func TestQuantileFromBuckets(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		m    Metric
+		q    float64
+		want float64
+	}{
+		// 100 obs uniform across (0,1]: p50 interpolates to the middle.
+		{"uniform-p50", fixtureMetric(100, 0.5, 50, 1.0, 100, inf, 100), 0.50, 0.5},
+		{"uniform-p99", fixtureMetric(100, 0.5, 50, 1.0, 100, inf, 100), 0.99, 0.99},
+		{"uniform-p25", fixtureMetric(100, 0.5, 50, 1.0, 100, inf, 100), 0.25, 0.25},
+		// All mass in the first bucket: interpolate inside (0, 0.1].
+		{"first-bucket", fixtureMetric(10, 0.1, 10, 1.0, 10, inf, 10), 0.5, 0.05},
+		// Mass in the overflow bucket clamps to the last finite bound.
+		{"overflow-clamps", fixtureMetric(10, 0.1, 0, 1.0, 2, inf, 10), 0.99, 1.0},
+		// Single observation: target 0.99 of one obs interpolates to 0.99.
+		{"single", fixtureMetric(1, 1.0, 1, inf, 1), 0.99, 0.99},
+		// Quantile clamping.
+		{"q-below-0", fixtureMetric(4, 1.0, 4, inf, 4), -1, 0},
+		{"q-above-1", fixtureMetric(4, 1.0, 4, inf, 4), 2, 1.0},
+	}
+	for _, c := range cases {
+		got := QuantileFromBuckets(c.m, c.q)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: QuantileFromBuckets(q=%v) = %v, want %v", c.name, c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileFromBucketsEmpty(t *testing.T) {
+	if got := QuantileFromBuckets(Metric{}, 0.99); !math.IsNaN(got) {
+		t.Fatalf("empty metric quantile = %v, want NaN", got)
+	}
+	if got := QuantileFromBuckets(Metric{Count: 5}, 0.99); !math.IsNaN(got) {
+		t.Fatalf("bucketless metric quantile = %v, want NaN", got)
+	}
+}
+
+// TestQuantileMatchesHistogram pins the scrape-side estimator to the
+// live Histogram.Quantile it mirrors.
+func TestQuantileMatchesHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("rim_test_q_seconds", "", []float64{0.01, 0.1, 0.5, 1, 2})
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i) / 700) // 0 .. ~1.43
+	}
+	snap := r.Snapshot()
+	var m Metric
+	for _, s := range snap {
+		if s.Name == "rim_test_q_seconds" {
+			m = s
+		}
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		live, scraped := h.Quantile(q), QuantileFromBuckets(m, q)
+		if math.Abs(live-scraped) > 1e-9 {
+			t.Errorf("q=%v: live %v != scraped %v", q, live, scraped)
+		}
+	}
+}
+
+func TestLintMetricNames(t *testing.T) {
+	clean := []Metric{
+		{Name: "rim_frames_total", Type: "counter"},
+		{Name: "rim_sessions_active", Type: "gauge"},
+		{Name: "rim_stream_lag_seconds", Type: "histogram"},
+		{Name: "rim_ckpt_bytes", Type: "histogram"},
+		{Name: "rim_fusion_quality_ratio", Type: "histogram"},
+		{Name: "rim_frames_total", Type: "counter", Labels: map[string]string{"session": "a"}},
+	}
+	if bad := LintMetricNames(clean); len(bad) != 0 {
+		t.Fatalf("clean snapshot flagged: %v", bad)
+	}
+	dirty := []Metric{
+		{Name: "rim-bad-name", Type: "counter"},
+		{Name: "rim_frames", Type: "counter"},
+		{Name: "rim_depth_total", Type: "gauge"},
+		{Name: "rim_lag", Type: "histogram"},
+		{Name: "rim_ok_total", Type: "counter", Labels: map[string]string{"__reserved": "x"}},
+	}
+	bad := LintMetricNames(dirty)
+	if len(bad) != 5 {
+		t.Fatalf("want 5 violations, got %d: %v", len(bad), bad)
+	}
+}
+
+// TestRegistryNamesLint walks every metric the obs package itself
+// registers in tests elsewhere; the repo-wide sweep lives in the root
+// metrics lint test. Here: families inherit the same rules.
+func TestRegistryNamesLint(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFamily("rim_x_total", "", FamilyOpts{Labels: []string{"session"}}).With("a").Inc()
+	r.HistogramFamily("rim_y_seconds", "", FamilyOpts{Labels: []string{"session"}}).With("a").Observe(1)
+	if bad := LintMetricNames(r.Snapshot()); len(bad) != 0 {
+		t.Fatalf("family snapshot flagged: %v", bad)
+	}
+}

@@ -28,6 +28,9 @@ const (
 	// ReasonHopDeadline: a streaming hop exceeded its analysis deadline
 	// and emitted degraded placeholders for the unresolved slots.
 	ReasonHopDeadline = "hop_deadline"
+	// ReasonSLOBreach: an SLO objective entered its paging state (fast
+	// burn on both burn windows); the bundle is the postmortem seed.
+	ReasonSLOBreach = "slo_breach"
 	// ReasonSessionQuarantined: a session supervisor gave up restarting a
 	// flapping session and quarantined it.
 	ReasonSessionQuarantined = "session_quarantined"
@@ -37,6 +40,8 @@ const (
 var Reasons = []string{
 	ReasonAnalysisFailure, ReasonDeadAntenna, ReasonDegradedEstimates,
 	ReasonHopDeadline, ReasonSessionQuarantined,
+	// Appended, never inserted: ordinals are wire-stable in old bundles.
+	ReasonSLOBreach,
 }
 
 func reasonOrdinal(reason string) int64 {

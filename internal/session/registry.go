@@ -1,10 +1,13 @@
 package session
 
 import (
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"log/slog"
+	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -114,25 +117,28 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 	for i := range r.shards {
 		r.shards[i] = &shard{sessions: make(map[string]*Session)}
 	}
-	if cfg.CheckpointDir != "" {
-		r.wg.Add(1)
-		go r.checkpointLoop()
-	}
+	// The ticker always runs: it refreshes the fleet and per-shard gauges
+	// even when checkpointing is off (CheckpointAll no-ops without a dir).
+	r.wg.Add(1)
+	go r.checkpointLoop()
 	return r, nil
 }
 
-// shardFor maps a session ID to its stripe, honoring migrations.
-func (r *Registry) shardFor(id string) *shard {
+// shardIndex maps a session ID to its stripe index, honoring migrations.
+func (r *Registry) shardIndex(id string) int {
 	r.ovMu.Lock()
 	if i, ok := r.override[id]; ok {
 		r.ovMu.Unlock()
-		return r.shards[i]
+		return i
 	}
 	r.ovMu.Unlock()
 	h := fnv.New32a()
 	h.Write([]byte(id))
-	return r.shards[h.Sum32()%uint32(len(r.shards))]
+	return int(h.Sum32() % uint32(len(r.shards)))
 }
+
+// shardFor maps a session ID to its stripe.
+func (r *Registry) shardFor(id string) *shard { return r.shards[r.shardIndex(id)] }
 
 // Open admits a new session (idempotent: an existing live session is
 // returned as-is). Opens are shed — ErrShed — past the MaxSessions
@@ -148,7 +154,8 @@ func (r *Registry) open(id string, spec Spec, cp *core.StreamCheckpoint) (*Sessi
 	if id == "" {
 		return nil, fmt.Errorf("session: empty session id")
 	}
-	sh := r.shardFor(id)
+	si := r.shardIndex(id)
+	sh := r.shards[si]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if s, ok := sh.sessions[id]; ok {
@@ -157,11 +164,11 @@ func (r *Registry) open(id string, spec Spec, cp *core.StreamCheckpoint) (*Sessi
 	// Admission control: shed rather than sink under overload, and shed
 	// everything new while the breaker says the daemon itself is failing.
 	if r.breaker.Degraded() {
-		r.m.Shed.Inc()
+		r.m.Shed.With("breaker", strconv.Itoa(si)).Inc()
 		return nil, fmt.Errorf("%w: circuit breaker open", ErrShed)
 	}
 	if max := r.cfg.MaxSessions; max > 0 && int(r.live.Load()) >= max {
-		r.m.Shed.Inc()
+		r.m.Shed.With("watermark", strconv.Itoa(si)).Inc()
 		return nil, fmt.Errorf("%w: %d sessions at watermark %d", ErrShed, r.live.Load(), max)
 	}
 	s, err := newSession(id, spec, r.cfg.Session, cp)
@@ -223,6 +230,9 @@ func (r *Registry) Close(id string) error {
 			r.log.Warn("checkpoint removal failed", "session", id, "err", err)
 		}
 	}
+	// The walk is over: fold the session's labeled children into the
+	// overflow child so live cardinality tracks the live fleet.
+	r.m.forgetSession(id)
 	return nil
 }
 
@@ -344,11 +354,22 @@ func (r *Registry) checkpointLoop() {
 	}
 }
 
-// updateGauges refreshes the registry-level gauges.
+// updateGauges refreshes the registry-level gauges, including the
+// per-shard occupancy families rimtop uses to spot skewed stripes.
 func (r *Registry) updateGauges() {
 	depth := 0
-	for _, s := range r.Sessions() {
-		depth += s.QueueDepth()
+	for i, sh := range r.shards {
+		shardDepth, shardSessions := 0, 0
+		sh.mu.Lock()
+		for _, s := range sh.sessions {
+			shardDepth += s.QueueDepth()
+			shardSessions++
+		}
+		sh.mu.Unlock()
+		lbl := strconv.Itoa(i)
+		r.m.ShardDepth.With(lbl).Set(float64(shardDepth))
+		r.m.ShardSessions.With(lbl).Set(float64(shardSessions))
+		depth += shardDepth
 	}
 	r.m.QueueDepth.Set(float64(depth))
 	r.m.Active.Set(float64(r.live.Load()))
@@ -450,6 +471,15 @@ type SessionInfo struct {
 	Restarts   int         `json:"restarts_total"`
 	Estimates  int         `json:"estimates"`
 	Health     core.Health `json:"health"`
+	// EstimatesDegraded / LowConfidence attribute estimate quality per
+	// session: degraded-flagged emissions and moving estimates below the
+	// configured confidence floor.
+	EstimatesDegraded int `json:"estimates_degraded"`
+	LowConfidence     int `json:"low_confidence,omitempty"`
+	// LastEstimateAgeSeconds is how long ago the session last emitted
+	// estimates (-1 when it never has) — the staleness signal rimtop
+	// sorts on.
+	LastEstimateAgeSeconds float64 `json:"last_estimate_age_seconds"`
 	// Pose is the session's latest fused pose (present only when the
 	// registry runs with a fusion backend configured).
 	Pose *geom.Pose `json:"pose,omitempty"`
@@ -458,16 +488,24 @@ type SessionInfo struct {
 // Infos returns the /sessions listing.
 func (r *Registry) Infos() []SessionInfo {
 	sessions := r.Sessions()
+	now := time.Now()
 	out := make([]SessionInfo, 0, len(sessions))
 	for _, s := range sessions {
 		_, total := s.Restarts()
+		ests, deg, low, last := s.EstimateStats()
 		info := SessionInfo{
-			ID:         s.ID,
-			State:      s.State(),
-			QueueDepth: s.QueueDepth(),
-			Restarts:   total,
-			Estimates:  s.Estimates(),
-			Health:     s.Health(),
+			ID:                     s.ID,
+			State:                  s.State(),
+			QueueDepth:             s.QueueDepth(),
+			Restarts:               total,
+			Estimates:              ests,
+			Health:                 s.Health(),
+			EstimatesDegraded:      deg,
+			LowConfidence:          low,
+			LastEstimateAgeSeconds: -1,
+		}
+		if !last.IsZero() {
+			info.LastEstimateAgeSeconds = now.Sub(last).Seconds()
 		}
 		if pose, ok := s.Pose(); ok {
 			p := pose
@@ -476,4 +514,16 @@ func (r *Registry) Infos() []SessionInfo {
 		out = append(out, info)
 	}
 	return out
+}
+
+// InfosHandler serves the /sessions JSON listing.
+func (r *Registry) InfosHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r.Infos()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 }

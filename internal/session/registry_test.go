@@ -88,7 +88,7 @@ func TestRegistryShedsAtWatermark(t *testing.T) {
 	if _, err := r.Open("overflow", testSpec()); !errors.Is(err, ErrShed) {
 		t.Fatalf("open past watermark = %v, want ErrShed", err)
 	}
-	if got := m.Shed.Value(); got != 1 {
+	if got := m.Shed.Total(); got != 1 {
 		t.Errorf("shed counter = %d", got)
 	}
 	// Closing one frees a slot.
@@ -108,7 +108,7 @@ func TestRegistryShedsWhileBreakerOpen(t *testing.T) {
 	if _, err := r.Open("w1", testSpec()); !errors.Is(err, ErrShed) {
 		t.Fatalf("open with open breaker = %v, want ErrShed", err)
 	}
-	if got := m.Shed.Value(); got == 0 {
+	if got := m.Shed.Total(); got == 0 {
 		t.Error("shed counter not incremented")
 	}
 }
@@ -360,7 +360,7 @@ func TestRegistryChaosSoak(t *testing.T) {
 			t.Errorf("healthy %s was quarantined", s.ID)
 		}
 	}
-	if got := m.Quarantined.Value(); got == 0 {
+	if got := m.Quarantined.Total(); got == 0 {
 		t.Error("no quarantines recorded")
 	}
 	r.Shutdown()

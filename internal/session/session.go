@@ -45,6 +45,11 @@ type Stream interface {
 // core.Streamer; fakes may omit it).
 type hopStretcher interface{ SetHopFactor(int) }
 
+// perStreamObserver is the optional per-entity metric attachment hook
+// (implemented by core.Streamer): when the metrics bundle carries labeled
+// families, each session hands its own lag child to its stream.
+type perStreamObserver interface{ SetPerStreamObs(core.PerStreamObs) }
+
 // StreamFactory builds a session's Stream, restoring from cp when non-nil
 // (a supervisor restart or a daemon-level restore).
 type StreamFactory func(id string, spec Spec, cp *core.StreamCheckpoint) (Stream, error)
@@ -127,6 +132,10 @@ type Config struct {
 	// /sessions listing. The config is a template: each session gets its
 	// own backend instance with StepSeconds fixed to its slot rate.
 	Fusion *fusion.Config
+	// ConfidenceFloor counts moving estimates whose alignment confidence
+	// falls below this threshold into rim_session_low_confidence_total
+	// and the /sessions listing (0 disables the accounting).
+	ConfidenceFloor float64
 	// Metrics receives the session-layer counters (nil = no-op bundle).
 	Metrics *Metrics
 	// Breaker is the daemon-wide circuit breaker fed by session failures
@@ -191,8 +200,9 @@ type Session struct {
 
 	cfg Config
 	q   *frameQueue
-	rng *rand.Rand // backoff jitter; worker-goroutine only
-	fus *fuser     // per-session fusion backend (nil = fusion off)
+	rng *rand.Rand     // backoff jitter; worker-goroutine only
+	fus *fuser         // per-session fusion backend (nil = fusion off)
+	sm  sessionMetrics // per-session metric children, resolved once
 
 	mu        sync.Mutex
 	state     State
@@ -202,7 +212,10 @@ type Session struct {
 	totalRst  int
 	health    core.Health // cached last-read stream health
 	estimates int
-	degraded  bool // coarser-hop mode engaged
+	estDeg    int       // estimates emitted with the Degraded flag
+	lowConf   int       // moving estimates below ConfidenceFloor
+	lastEst   time.Time // when the session last emitted estimates
+	degraded  bool      // coarser-hop mode engaged
 	closing   bool
 	woken     bool // wake already closed
 	exitTaken bool // registry consumed this session's exit exactly once
@@ -232,6 +245,7 @@ func newSession(id string, spec Spec, cfg Config, cp *core.StreamCheckpoint) (*S
 		cfg:    cfg,
 		q:      newFrameQueue(cfg.Queue),
 		rng:    rand.New(rand.NewSource(seed ^ int64(len(id)))),
+		sm:     cfg.Metrics.children(id),
 		state:  StateAdmitted,
 		lastCp: cp,
 		done:   make(chan struct{}),
@@ -315,19 +329,18 @@ func (s *Session) Checkpoint() *Checkpoint {
 // queue-owned. Returns an error only for Reject-policy overflow or a
 // closed/quarantined session.
 func (s *Session) ingest(snap [][][]complex128, missing []bool) error {
-	m := s.cfg.Metrics
 	f := frame{snap: snap, missing: missing, enq: time.Now()}
 	accepted, evicted := s.q.push(f, s.cfg.Policy != Reject)
 	if !accepted {
-		m.Rejected.Inc()
+		s.sm.rejected.Inc()
 		if st := s.State(); st == StateQuarantined || st == StateClosed {
 			return fmt.Errorf("session %q is %s", s.ID, st)
 		}
 		return fmt.Errorf("session %q queue full (reject policy)", s.ID)
 	}
-	m.Frames.Inc()
+	s.sm.frames.Inc()
 	if evicted {
-		m.Dropped.Inc()
+		s.sm.dropped.Inc()
 	}
 	if s.cfg.Policy == Degrade {
 		s.adjustDegrade()
@@ -359,7 +372,7 @@ func (s *Session) adjustDegrade() {
 		hs.SetHopFactor(flip)
 	}
 	if flip == 2 {
-		s.cfg.Metrics.Degraded.Inc()
+		s.sm.degraded.Inc()
 		s.cfg.Log.Info("session degraded to coarser hop", "session", s.ID, "queue_occupancy", occ)
 	} else {
 		s.cfg.Log.Info("session restored normal hop", "session", s.ID, "queue_occupancy", occ)
@@ -407,7 +420,7 @@ func (s *Session) run() {
 		restarts := s.restarts
 		s.stream = nil // rebuilt from lastCp on the next runOnce
 		s.mu.Unlock()
-		m.Restarts.Inc()
+		s.sm.restarts.Inc()
 		s.cfg.Breaker.Failure()
 
 		if restarts > s.cfg.MaxRestarts {
@@ -445,7 +458,7 @@ func (s *Session) backoff(n int) time.Duration {
 // drained so producers stop accumulating frames nobody will pop.
 func (s *Session) quarantine(err error) {
 	s.setState(StateQuarantined)
-	s.cfg.Metrics.Quarantined.Inc()
+	s.sm.quarantined.Inc()
 	s.cfg.Metrics.Closed.Inc()
 	s.q.close()
 	s.q.drain()
@@ -507,13 +520,15 @@ func (s *Session) runOnce() (quit bool, err error) {
 		s.stream = stream
 		degraded := s.degraded
 		s.mu.Unlock()
+		if po, ok := stream.(perStreamObserver); ok && s.sm.lag != nil {
+			po.SetPerStreamObs(core.PerStreamObs{Lag: s.sm.lag})
+		}
 		if hs, ok := stream.(hopStretcher); ok && degraded {
 			hs.SetHopFactor(2)
 		}
 	}
 	s.setState(StateRunning)
 
-	m := s.cfg.Metrics
 	healthySince := time.Now()
 	frames := 0
 	for {
@@ -525,7 +540,7 @@ func (s *Session) runOnce() (quit bool, err error) {
 			s.snapshotHealth(stream)
 			return true, nil
 		}
-		m.QueueWait.Observe(time.Since(f.enq).Seconds())
+		s.sm.queueWait.Observe(time.Since(f.enq).Seconds())
 
 		ctx := context.Background()
 		var cancel context.CancelFunc
@@ -582,15 +597,42 @@ func (s *Session) runOnce() (quit bool, err error) {
 }
 
 func (s *Session) recordEstimates(ests []core.Estimate) {
+	deg, low := 0, 0
+	for _, e := range ests {
+		if e.Degraded {
+			deg++
+		}
+		if floor := s.cfg.ConfidenceFloor; floor > 0 && e.Moving && e.Confidence < floor {
+			low++
+		}
+	}
 	s.mu.Lock()
 	s.estimates += len(ests)
+	s.estDeg += deg
+	s.lowConf += low
+	s.lastEst = time.Now()
 	s.mu.Unlock()
+	s.sm.estimates.Add(uint64(len(ests)))
+	if deg > 0 {
+		s.sm.estDegraded.Add(uint64(deg))
+	}
+	if low > 0 {
+		s.sm.lowConf.Add(uint64(low))
+	}
 	if s.fus != nil {
 		s.fus.feed(ests)
 	}
 	if s.cfg.Emit != nil {
 		s.cfg.Emit(s.ID, ests)
 	}
+}
+
+// EstimateStats returns (total, degraded, low-confidence) finalized
+// estimate counts and the time the session last emitted (zero when never).
+func (s *Session) EstimateStats() (total, degraded, lowConf int, last time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.estimates, s.estDeg, s.lowConf, s.lastEst
 }
 
 func (s *Session) snapshotHealth(stream Stream) {

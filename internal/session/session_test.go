@@ -158,7 +158,7 @@ func TestSupervisorRecoversPanicAndRestarts(t *testing.T) {
 	if got := m.Panics.Value(); got != 1 {
 		t.Errorf("panic counter = %d, want 1", got)
 	}
-	if got := m.Restarts.Value(); got != 1 {
+	if got := m.Restarts.Total(); got != 1 {
 		t.Errorf("restart counter = %d, want 1", got)
 	}
 	if s.State() != StateClosed {
@@ -208,10 +208,10 @@ func TestSupervisorQuarantinesFlappingSession(t *testing.T) {
 	if got := d.buildCount(); got != 3 {
 		t.Errorf("stream built %d times, want 3 (initial + 2 restarts)", got)
 	}
-	if got := m.Restarts.Value(); got != 3 {
+	if got := m.Restarts.Total(); got != 3 {
 		t.Errorf("restart counter = %d, want 3 (each failure counts)", got)
 	}
-	if got := m.Quarantined.Value(); got != 1 {
+	if got := m.Quarantined.Total(); got != 1 {
 		t.Errorf("quarantine counter = %d, want 1", got)
 	}
 	hookMu.Lock()
@@ -365,7 +365,7 @@ func TestSessionRejectPolicyRefusesOverflow(t *testing.T) {
 	if err := s.ingest(testFrame(), nil); err == nil {
 		t.Fatal("overflow frame accepted under Reject policy")
 	}
-	if got := m.Rejected.Value(); got != 1 {
+	if got := m.Rejected.Total(); got != 1 {
 		t.Errorf("rejected counter = %d, want 1", got)
 	}
 }
@@ -403,7 +403,7 @@ func TestSessionDropOldestEvicts(t *testing.T) {
 	if err := s.ingest(testFrame(), nil); err != nil {
 		t.Fatalf("drop-oldest ingest errored: %v", err)
 	}
-	if got := m.Dropped.Value(); got == 0 {
+	if got := m.Dropped.Total(); got == 0 {
 		t.Error("dropped counter not incremented")
 	}
 }
