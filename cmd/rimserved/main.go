@@ -11,6 +11,8 @@
 //	          [-shards 8] [-max-sessions 0] [-queue 64]
 //	          [-policy drop-oldest|reject|degrade]
 //	          [-hop-deadline 0] [-span 3] [-hop 0.5]
+//	          [-kernel sequential|unrolled4|unrolled8|vector]
+//	          [-precision float64|float32]
 //	          [-checkpoint-dir dir] [-checkpoint-every 5s]
 //	          [-postmortem-out dir] [-fusion off|particle|eskf]
 //	          [-metric-cardinality 0] [-confidence-floor 0]
@@ -49,6 +51,7 @@ import (
 	"rim/internal/obs/slo"
 	"rim/internal/obs/trace"
 	"rim/internal/session"
+	"rim/internal/trrs"
 )
 
 func fatal(args ...any) {
@@ -82,6 +85,8 @@ func main() {
 	span := flag.Float64("span", 3, "streaming analysis span, seconds")
 	hop := flag.Float64("hop", 0.5, "streaming analysis hop, seconds")
 	window := flag.Float64("window", 0.3, "TRRS lag window, seconds")
+	kernelName := flag.String("kernel", "", "TRRS kernel: sequential (default, bit-exact), unrolled4, unrolled8, vector")
+	precName := flag.String("precision", "", "TRRS plane precision: float64 (default, bit-exact), float32")
 	maxRestarts := flag.Int("max-restarts", 3, "consecutive supervisor restarts before quarantine")
 	failThresh := flag.Int("failure-threshold", 0, "consecutive analysis failures before a session restart (0 = package default)")
 	ckptDir := flag.String("checkpoint-dir", "", "directory for session checkpoints (enables crash-restart)")
@@ -102,6 +107,14 @@ func main() {
 	policy, ok := session.ParsePolicy(*policyName)
 	if !ok {
 		fatal("unknown -policy", *policyName)
+	}
+	kernel, err := trrs.ParseKernel(*kernelName)
+	if err != nil {
+		fatal(err)
+	}
+	precision, err := trrs.ParsePrecision(*precName)
+	if err != nil {
+		fatal(err)
 	}
 
 	var fusionCfg *fusion.Config
@@ -154,15 +167,12 @@ func main() {
 		Log:      log,
 	})
 
-	factory := func(id string, spec session.Spec, cp *core.StreamCheckpoint) (session.Stream, error) {
-		arr, err := arrayForAnts(spec.NumAnts)
-		if err != nil {
-			return nil, err
-		}
-		scfg := core.StreamConfig{
+	factory, err := session.NewCoreFactory(session.CoreFactoryConfig{
+		Template: core.StreamConfig{
 			Core: core.Config{
-				Array:         arr,
 				WindowSeconds: *window,
+				Kernel:        kernel,
+				Precision:     precision,
 				Obs:           reg,
 				Trace:         rec,
 				Flight:        flight,
@@ -171,15 +181,15 @@ func main() {
 			SpanSeconds: *span,
 			HopSeconds:  *hop,
 			HopDeadline: *hopDeadline,
-		}
-		if cp != nil {
-			return core.NewStreamerFromCheckpoint(scfg, cp)
-		}
-		return core.NewStreamer(scfg, spec.Rate, spec.NumAnts, spec.NumTx, spec.NumSub)
+		},
+		ArrayFor: arrayForAnts,
+	})
+	if err != nil {
+		fatal(err)
 	}
 
 	metrics := session.NewMetricsCap(reg, *metricCard)
-	registry, err := session.NewRegistry(session.RegistryConfig{
+	registry, err = session.NewRegistry(session.RegistryConfig{
 		Shards:          *shards,
 		MaxSessions:     *maxSessions,
 		Breaker:         breaker,

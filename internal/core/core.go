@@ -78,8 +78,15 @@ type Config struct {
 	// Kernel selects the TRRS inner-product kernel (see trrs.Kernel). The
 	// zero value, trrs.KernelSequential, is bit-for-bit identical to the
 	// reference arithmetic; trrs.KernelUnrolled4 opts into the pipelined
-	// 4-accumulator kernel (1e-12-relative agreement).
+	// 4-accumulator kernel (1e-12-relative agreement); trrs.KernelVector
+	// opts into the lag-sweep kernel (AVX2+FMA where supported).
 	Kernel trrs.Kernel
+	// Precision selects the TRRS plane storage precision (see
+	// trrs.Precision). The zero value, trrs.PrecisionFloat64, is the
+	// bit-exact reference; trrs.PrecisionFloat32 halves plane memory
+	// traffic and doubles vector lanes at a ~1e-5 relative matrix error
+	// (end-to-end error budget guarded by TestFloat32ErrorBudget).
+	Precision trrs.Precision
 	// Obs is the observability registry stage timers and counters report
 	// into (see internal/obs and DESIGN.md "Observability"). nil — the
 	// default — disables metrics; disabled instrumentation costs one nil
@@ -100,6 +107,14 @@ type Config struct {
 	// estimates, analysis failures, dead antennas); it snapshots Trace's
 	// recent past into a postmortem bundle. nil disables the offers.
 	Flight *trace.Flight
+	// arena, when non-nil, supplies recycled backings for the derived
+	// (averaged, virtual-massive) matrices of one analysis pass. The
+	// streaming front end threads a pooled arena through here so the
+	// steady-state hop reuses hop-lifetime scratch instead of allocating
+	// it; nil (batch runs) falls back to plain allocation. The matrices
+	// of a pass become invalid at the arena's next Reset, which is fine:
+	// Result retains no matrices.
+	arena *trrs.MatrixArena
 	// traceHop is the causal hop ID stamped on this pipeline's trace
 	// events: 0 for batch runs, ≥ 1 for the streaming front end's hops
 	// (core.Streamer threads it through before each re-analysis).
@@ -378,7 +393,7 @@ func NewPipeline(s *csi.Series, cfg Config) (*Pipeline, error) {
 			cfg.Array.NumAntennas(), s.NumAnts)
 	}
 	cfg.applyDefaults(s.Rate)
-	eng := trrs.NewEngine(s)
+	eng := trrs.NewEnginePrecision(s, cfg.Precision)
 	eng.SetParallelism(cfg.Parallelism)
 	eng.SetKernel(cfg.Kernel)
 	eng.SetObs(cfg.Obs)
@@ -406,6 +421,47 @@ func missFracOf(missing [][]bool, numAnts, slots int) []float64 {
 	return out
 }
 
+// pairGeometry derives the pipeline's pair structure from the array: the
+// parallel-isometric groups (translation) and, for arrays with ≥ 4
+// antennas arranged in a ring, the adjacent pairs (rotation detection).
+func pairGeometry(arr *array.Array) ([]array.ParallelGroup, []array.Pair) {
+	groups := arr.ParallelGroups(geom.Rad(2), 1e-6)
+	var ring []array.Pair
+	if arr.NumAntennas() >= 4 {
+		ring = arr.AdjacentRing()
+	}
+	return groups, ring
+}
+
+// neededPairs collects the distinct base-matrix pairs the pipeline will
+// request for the given geometry, deduplicated in request order: every
+// pair of every parallel group (first pair only under
+// DisablePairAveraging) plus the rotation ring. Both the batch bulk
+// build and the streaming pre-warm use it, so the batched schedule
+// covers exactly the pairs the per-pair lookups will ask for.
+func neededPairs(groups []array.ParallelGroup, ring []array.Pair, disablePairAveraging bool) []trrs.PairSpec {
+	var pairs []trrs.PairSpec
+	seen := map[[2]int]bool{}
+	addPair := func(i, j int) {
+		if !seen[[2]int{i, j}] {
+			seen[[2]int{i, j}] = true
+			pairs = append(pairs, trrs.PairSpec{I: i, J: j})
+		}
+	}
+	for _, g := range groups {
+		for k, pr := range g.Pairs {
+			if disablePairAveraging && k > 0 {
+				break
+			}
+			addPair(pr.I, pr.J)
+		}
+	}
+	for _, pr := range ring {
+		addPair(pr.I, pr.J)
+	}
+	return pairs
+}
+
 // newPipelineFromEngine assembles a pipeline over an existing TRRS engine.
 // baseFor supplies the per-pair base matrices (antenna indices local to
 // the engine); nil selects the default bulk computation, which fans every
@@ -427,35 +483,14 @@ func newPipelineFromEngine(eng *trrs.Engine, baseFor func(i, j int) *trrs.Matrix
 
 	// Base matrices are shared between translation groups and the
 	// rotation ring; collect the distinct pairs first so the bulk source
-	// computes each exactly once, in one pool. Reversed pairs and
-	// self-pairs need no handling here: BaseMatrices derives them by the
-	// Hermitian reflection instead of recomputing (see trrs.BaseMatrices).
-	angTol := geom.Rad(2)
-	groups := cfg.Array.ParallelGroups(angTol, 1e-6)
-	var ring []array.Pair
-	if cfg.Array.NumAntennas() >= 4 {
-		ring = cfg.Array.AdjacentRing()
-	}
+	// computes each exactly once, in one cross-pair batched pool (every
+	// time block's CSI planes are read once and feed all pairs sharing
+	// it — see trrs.BaseMatrices). Reversed pairs and self-pairs need no
+	// handling here: BaseMatrices derives them by the Hermitian
+	// reflection instead of recomputing.
+	groups, ring := pairGeometry(cfg.Array)
 	if baseFor == nil {
-		var pairs []trrs.PairSpec
-		seen := map[[2]int]bool{}
-		addPair := func(i, j int) {
-			if !seen[[2]int{i, j}] {
-				seen[[2]int{i, j}] = true
-				pairs = append(pairs, trrs.PairSpec{I: i, J: j})
-			}
-		}
-		for _, g := range groups {
-			for k, pr := range g.Pairs {
-				if cfg.DisablePairAveraging && k > 0 {
-					break
-				}
-				addPair(pr.I, pr.J)
-			}
-		}
-		for _, pr := range ring {
-			addPair(pr.I, pr.J)
-		}
+		pairs := neededPairs(groups, ring, cfg.DisablePairAveraging)
 		ms := eng.BaseMatrices(pairs, p.w)
 		cache := make(map[[2]int]*trrs.Matrix, len(pairs))
 		for k, spec := range pairs {
@@ -472,18 +507,18 @@ func newPipelineFromEngine(eng *trrs.Engine, baseFor func(i, j int) *trrs.Matrix
 				break
 			}
 		}
-		avg, err := trrs.AverageMatrices(ms...)
+		avg, err := trrs.AverageMatricesInto(cfg.arena, ms...)
 		if err != nil {
 			return nil, fmt.Errorf("core: group matrices: %w", err)
 		}
-		vm, err := trrs.VirtualMassive(avg, cfg.V)
+		vm, err := trrs.VirtualMassiveInto(cfg.arena, avg, cfg.V)
 		if err != nil {
 			return nil, fmt.Errorf("core: group matrices: %w", err)
 		}
 		p.groups = append(p.groups, groupMatrix{group: g, m: vm})
 	}
 	for _, pr := range ring {
-		vm, err := trrs.VirtualMassive(baseFor(pr.I, pr.J), cfg.V)
+		vm, err := trrs.VirtualMassiveInto(cfg.arena, baseFor(pr.I, pr.J), cfg.V)
 		if err != nil {
 			return nil, fmt.Errorf("core: ring matrices: %w", err)
 		}

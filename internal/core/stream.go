@@ -133,6 +133,9 @@ type Streamer struct {
 	// steady-state path.
 	incSnap  [][][]complex128
 	remapHdr map[[2]int]*trrs.Matrix
+	// prewarm is the reused absolute-pair scratch of analyzeAlive's
+	// batched ExtendMatrices pre-warm.
+	prewarm []trrs.PairSpec
 	// aliveScratch backs aliveAntennas' per-hop result.
 	aliveScratch []int
 	// buf[ant][tx] holds the windowed snapshots.
@@ -244,6 +247,11 @@ type streamObs struct {
 	hopH     *obs.Histogram // rim_stream_hop_seconds
 	lagH     *obs.Histogram // rim_stream_lag_seconds
 	lagG     *obs.Gauge     // rim_stream_watermark_lag_seconds
+
+	// Shared hop-scratch pool accounting (see scratch.go).
+	scratchGets  *obs.Counter // rim_scratch_pool_gets_total
+	scratchNews  *obs.Counter // rim_scratch_pool_news_total
+	scratchBytes *obs.Gauge   // rim_scratch_pool_bytes
 }
 
 func newStreamObs(reg *obs.Registry) streamObs {
@@ -264,6 +272,12 @@ func newStreamObs(reg *obs.Registry) streamObs {
 		hopH:     reg.Timer("rim_stream_hop_seconds", "sliding-window analysis latency per hop"),
 		lagH:     reg.Timer("rim_stream_lag_seconds", "ingest-to-emit latency of the newest slot finalized per hop"),
 		lagG:     reg.Gauge("rim_stream_watermark_lag_seconds", "end-to-end lag of the emit watermark behind ingest"),
+		scratchGets: reg.Counter("rim_scratch_pool_gets_total",
+			"hop-scratch borrows from the process-wide streaming scratch pool"),
+		scratchNews: reg.Counter("rim_scratch_pool_news_total",
+			"hop-scratch borrows that had to allocate a fresh scratch (pool miss)"),
+		scratchBytes: reg.Gauge("rim_scratch_pool_bytes",
+			"backing bytes held by the hop scratch most recently returned to the pool"),
 	}
 }
 
@@ -328,7 +342,7 @@ func NewStreamer(cfg StreamConfig, rate float64, numAnts, numTx, numSub int) (*S
 	st.t0 = time.Now()
 	st.lagOn = st.trc != nil || st.ob.lagH != nil
 	if !cfg.Recompute {
-		inc, err := trrs.NewIncremental(rate, numAnts, numTx, st.wSlots)
+		inc, err := trrs.NewIncrementalPrecision(rate, numAnts, numTx, st.wSlots, cfg.Core.Precision)
 		if err != nil {
 			return nil, err
 		}
@@ -862,6 +876,14 @@ func (st *Streamer) analyzeAlive(alive []int, hop int64, ctx context.Context, dl
 	cfg.traceHop = hop
 	cfg.hopDeadline = dl
 	cfg.hopCtx = ctx
+	// Borrow hop-lifetime matrix scratch from the process-wide pool: the
+	// derived (averaged, virtual-massive) matrices of this pass reuse the
+	// backings a previous hop — possibly of another session — built. The
+	// result retains none of them, so the scratch returns to the pool as
+	// soon as the analysis is done.
+	scr := getHopScratch(st.ob)
+	defer putHopScratch(scr, st.ob)
+	cfg.arena = &scr.arena
 	if st.inc != nil {
 		st.inc.SetHop(hop)
 	}
@@ -891,6 +913,19 @@ func (st *Streamer) analyzeAlive(alive []int, hop int64, ctx context.Context, dl
 	cfg.applyDefaults(st.rate)
 	eng, err := st.inc.EngineView(alive)
 	if err != nil {
+		return nil, err
+	}
+	// Pre-warm: refresh every pair this hop will request in one batched
+	// ExtendMatrices pass, so the stale rows of all pairs are filled
+	// block-major across pairs (each time block's planes read once) and
+	// the per-pair baseFor lookups below hit the generation fast path.
+	groups, ring := pairGeometry(cfg.Array)
+	abs := st.prewarm[:0]
+	for _, pr := range neededPairs(groups, ring, cfg.DisablePairAveraging) {
+		abs = append(abs, trrs.PairSpec{I: alive[pr.I], J: alive[pr.J]})
+	}
+	st.prewarm = abs
+	if _, err := st.inc.ExtendMatrices(abs); err != nil {
 		return nil, err
 	}
 	// Base matrices come from the incrementally maintained per-pair state,

@@ -403,10 +403,11 @@ func TestExtHeadingShape(t *testing.T) {
 
 func TestPerfShape(t *testing.T) {
 	r := Perf(Fast)
-	// 6 throughput rows (batch serial/parallel, stream recompute/
-	// incremental, symmetric dedup, incremental hop) plus one row per
-	// recorded stage histogram.
-	if want := 6 + len(r.Stages); len(r.Report.Rows) != want {
+	// 9 throughput rows (batch serial/parallel, stream recompute/
+	// incremental, symmetric dedup, batched bulk build, vector kernel,
+	// float32 planes, incremental hop) plus one row per recorded stage
+	// histogram.
+	if want := 9 + len(r.Stages); len(r.Report.Rows) != want {
 		t.Fatalf("want %d rows, got %d\n%s", want, len(r.Report.Rows), r.Report)
 	}
 	// Timings are machine-dependent; only assert they are measurements.
@@ -414,7 +415,8 @@ func TestPerfShape(t *testing.T) {
 		r.RecomputeSlotsPerSec <= 0 || r.IncrementalSlotsPerSec <= 0 {
 		t.Fatalf("non-positive measurement: %+v", r)
 	}
-	if r.BatchSpeedup <= 0 || r.StreamSpeedup <= 0 || r.SymmetricSpeedup <= 0 {
+	if r.BatchSpeedup <= 0 || r.StreamSpeedup <= 0 || r.SymmetricSpeedup <= 0 ||
+		r.BatchedSpeedup <= 0 || r.VectorSpeedup <= 0 || r.Float32Speedup <= 0 {
 		t.Fatalf("non-positive speedup: %+v", r)
 	}
 	// The steady-state hop is allocation-free by contract.

@@ -1,0 +1,79 @@
+package sigproc
+
+import "math"
+
+// Float32 SoA kernels — the precision-mode counterparts of the float64
+// primitives in soa.go. The TRRS engine's opt-in float32 plane mode
+// (trrs.PrecisionFloat32) stores normalized CSI as re/im float32 planes:
+// half the memory traffic per lag sweep and twice the SIMD lane count for
+// the vector kernels, at ~1e-7 relative error per inner product (the
+// engine's matrix-level error budget is pinned by the property suite and
+// the bench guard).
+//
+// Accumulation runs in float32 — that is the point of the mode; a float64
+// accumulator would serialize the conversion on the hot path — but the
+// |·|² composition at the end is taken in float64, matching the assembly
+// sweep kernels, so callers always receive float64 TRRS values.
+// Normalization energy is accumulated in float64 (ingest-time only, and
+// it halves the normalization's rounding error for free).
+
+// DotSqSoA32 returns |<a, b>|² for complex vectors given as separate
+// real/imag float32 slices, accumulating in float32 in DotSqSoA's element
+// order. All four slices must have equal length; mismatch panics.
+func DotSqSoA32(ar, ai, br, bi []float32) float64 {
+	n := len(ar)
+	if len(ai) != n || len(br) != n || len(bi) != n {
+		panic("sigproc: DotSqSoA32 length mismatch")
+	}
+	if n == 0 {
+		return 0
+	}
+	ai = ai[:n]
+	br = br[:n]
+	bi = bi[:n]
+	var re, im float32
+	for k := 0; k < n; k++ {
+		re += ar[k]*br[k] + ai[k]*bi[k]
+		im += ar[k]*bi[k] - ai[k]*br[k]
+	}
+	return float64(re)*float64(re) + float64(im)*float64(im)
+}
+
+// EnergySoA32 returns <a, a> for a complex vector given as separate re/im
+// float32 slices. The sum is accumulated in float64 (this runs at ingest,
+// once per snapshot, where accuracy is worth more than lane count).
+func EnergySoA32(ar, ai []float32) float64 {
+	n := len(ar)
+	if len(ai) != n {
+		panic("sigproc: EnergySoA32 length mismatch")
+	}
+	ai = ai[:n]
+	var e float64
+	for k := 0; k < n; k++ {
+		re, im := float64(ar[k]), float64(ai[k])
+		e += re*re + im*im
+	}
+	return e
+}
+
+// NormalizeSoA32 scales (ar, ai) in place to unit energy and returns the
+// original Euclidean norm; a zero vector is left unchanged and 0 returned.
+// The norm is computed in float64 and the scale applied as one float32
+// multiply per component — the float32-plane analogue of NormalizeSoA.
+func NormalizeSoA32(ar, ai []float32) float64 {
+	n := len(ar)
+	if len(ai) != n {
+		panic("sigproc: NormalizeSoA32 length mismatch")
+	}
+	ai = ai[:n]
+	norm := math.Sqrt(EnergySoA32(ar, ai))
+	if norm == 0 {
+		return 0
+	}
+	inv := float32(1 / norm)
+	for k := 0; k < n; k++ {
+		ar[k] *= inv
+		ai[k] *= inv
+	}
+	return norm
+}

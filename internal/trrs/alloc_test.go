@@ -119,3 +119,52 @@ func TestExtendMatrixReusesBacking(t *testing.T) {
 		t.Fatal("generation n+2 must reuse generation n's Matrix header")
 	}
 }
+
+// TestExtendMatricesAllocFree extends the zero-allocation contract to the
+// cross-pair batched refresh: once the window geometry and the batch
+// scratch have warmed up, a hop that refreshes all three pairs through
+// ExtendMatrices performs no allocation at Parallelism 1.
+func TestExtendMatricesAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	s := randomSeries(rng, 3, 2, 30, 400)
+	const w, hop = 50, 50
+	inc, err := NewIncremental(s.Rate, s.NumAnts, s.NumTx, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc.SetParallelism(1)
+	pairs := []PairSpec{{I: 0, J: 1}, {I: 0, J: 2}, {I: 1, J: 2}}
+
+	snaps := make([][][][]complex128, s.NumSlots())
+	for ti := range snaps {
+		snaps[ti] = seriesSnapshot(s, ti)
+	}
+	for ti := 0; ti < s.NumSlots(); ti++ {
+		if err := inc.Append(snaps[ti]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := inc.ExtendMatrices(pairs); err != nil {
+		t.Fatal(err)
+	}
+
+	k := 0
+	hopOnce := func() {
+		for n := 0; n < hop; n++ {
+			if err := inc.Append(snaps[k%len(snaps)]); err != nil {
+				t.Fatal(err)
+			}
+			k++
+		}
+		inc.DropFront(hop)
+		if _, err := inc.ExtendMatrices(pairs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for n := 0; n < 12; n++ {
+		hopOnce()
+	}
+	if avg := testing.AllocsPerRun(20, hopOnce); avg != 0 {
+		t.Fatalf("steady-state batched hop allocates %.1f times per op, want 0", avg)
+	}
+}

@@ -1,0 +1,328 @@
+package trrs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rim/internal/csi"
+)
+
+// Tests for the cross-pair batched build, the opt-in vector-shaped
+// kernels, and float32 plane mode. The contracts, in order of strictness:
+// the batched schedule is a pure reordering (bit-exact, pinned here and
+// by the golden suites); the vector and unrolled8 kernels agree with the
+// sequential kernel to 1e-12 relative; float32 planes agree with float64
+// to 1e-5 relative at matrix level, with matched argmax lags on
+// non-degenerate rows.
+
+// requireTolerance asserts two matrices agree within rel relative
+// tolerance, element-wise.
+func requireTolerance(t *testing.T, name string, want, got *Matrix, rel float64) {
+	t.Helper()
+	if len(got.Vals) != len(want.Vals) {
+		t.Fatalf("%s: %d slots, want %d", name, len(got.Vals), len(want.Vals))
+	}
+	for ti := range want.Vals {
+		for c := range want.Vals[ti] {
+			wv, gv := want.Vals[ti][c], got.Vals[ti][c]
+			tol := rel * math.Max(math.Abs(wv), 1)
+			if math.Abs(wv-gv) > tol {
+				t.Fatalf("%s: [%d][%d] = %v, want %v (|diff| %g > %g)",
+					name, ti, c, gv, wv, math.Abs(wv-gv), tol)
+			}
+		}
+	}
+}
+
+// TestVectorKernelTolerance verifies the opt-in vector (lag-sweep) kernel
+// against the sequential serial oracle at 1e-12 relative, over full
+// matrices on random and walk CSI covering every tail class, and that the
+// vector-kernel incremental engine is bit-identical to the vector-kernel
+// batch engine.
+func TestVectorKernelTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const w = 15
+	for _, tc := range []struct {
+		name string
+		s    *csi.Series
+	}{
+		{"random30", randomSeries(rng, 3, 2, 30, 90)},
+		{"random7", randomSeries(rng, 2, 1, 7, 60)}, // tones%4 != 0: masked tail
+		{"walk", walkSeries(t, false)},
+	} {
+		seq := NewEngine(tc.s)
+		vec := NewEngine(tc.s)
+		vec.SetKernel(KernelVector)
+		if vec.Kernel() != KernelVector {
+			t.Fatal("SetKernel did not stick")
+		}
+		for _, pair := range [][2]int{{0, 1}, {1, 1}} {
+			want := seq.BaseMatrixSerial(pair[0], pair[1], w)
+			got := vec.BaseMatrixSerial(pair[0], pair[1], w)
+			requireTolerance(t, tc.name+"-vector", want, got, 1e-12)
+		}
+		// Point queries fall back to the sequential kernel: bit-exact.
+		if a, b := seq.Base(0, 1, 7, 3), vec.Base(0, 1, 7, 3); math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("%s: vector point query %x, want sequential %x", tc.name, b, a)
+		}
+	}
+
+	s := randomSeries(rng, 3, 2, 30, 80)
+	inc, err := NewIncremental(s.Rate, s.NumAnts, s.NumTx, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc.SetKernel(KernelVector)
+	inc.SetParallelism(1)
+	for ti := 0; ti < s.NumSlots(); ti++ {
+		if err := inc.Append(seriesSnapshot(s, ti)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := inc.ExtendMatrix(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := NewEngine(s)
+	vec.SetKernel(KernelVector)
+	requireIdentical(t, "incremental-vector", vec.BaseMatrixSerial(0, 2, w), got)
+}
+
+// TestUnrolled8KernelTolerance verifies the 8-accumulator kernel at the
+// same 1e-12 relative gate.
+func TestUnrolled8KernelTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	const w = 12
+	for _, tc := range []struct {
+		name string
+		s    *csi.Series
+	}{
+		{"random30", randomSeries(rng, 3, 2, 30, 70)},
+		{"random13", randomSeries(rng, 2, 1, 13, 50)}, // tones%8 != 0: scalar tail
+	} {
+		seq := NewEngine(tc.s)
+		unr := NewEngine(tc.s)
+		unr.SetKernel(KernelUnrolled8)
+		want := seq.BaseMatrixSerial(0, 1, w)
+		got := unr.BaseMatrixSerial(0, 1, w)
+		requireTolerance(t, tc.name+"-unrolled8", want, got, 1e-12)
+	}
+}
+
+// TestKernelPrecisionParseRoundTrip pins the flag-string surface: every
+// selector round-trips through Parse(String()), and junk is rejected.
+func TestKernelPrecisionParseRoundTrip(t *testing.T) {
+	for _, k := range []Kernel{KernelSequential, KernelUnrolled4, KernelUnrolled8, KernelVector} {
+		got, err := ParseKernel(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseKernel(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKernel("simd9000"); err == nil {
+		t.Fatal("ParseKernel must reject unknown names")
+	}
+	if k, err := ParseKernel(""); err != nil || k != KernelSequential {
+		t.Fatal("empty kernel must default to sequential")
+	}
+	for _, p := range []Precision{PrecisionFloat64, PrecisionFloat32} {
+		got, err := ParsePrecision(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParsePrecision(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePrecision("float16"); err == nil {
+		t.Fatal("ParsePrecision must reject unknown names")
+	}
+	if p, err := ParsePrecision("f32"); err != nil || p != PrecisionFloat32 {
+		t.Fatal("f32 shorthand must parse")
+	}
+}
+
+// TestPrecisionFloat32Property is the testing/quick property suite of the
+// float32 plane mode: on random CSI the float32 engine's base matrix
+// agrees with the float64 engine's to 1e-5 relative, and on rows whose
+// peak is non-degenerate (clear of its runner-up by more than twice the
+// tolerance) both engines pick the same argmax lag.
+func TestPrecisionFloat32Property(t *testing.T) {
+	const w = 8
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSeries(rng, 2, 2, 30, 40)
+		e64 := NewEngine(s)
+		e32 := NewEnginePrecision(s, PrecisionFloat32)
+		if e32.Precision() != PrecisionFloat32 {
+			return false
+		}
+		m64 := e64.BaseMatrixSerial(0, 1, w)
+		m32 := e32.BaseMatrixSerial(0, 1, w)
+		for ti := range m64.Vals {
+			row64, row32 := m64.Vals[ti], m32.Vals[ti]
+			best, second, bi := -1.0, -1.0, 0
+			for c := range row64 {
+				tol := 1e-5 * math.Max(math.Abs(row64[c]), 1)
+				if math.Abs(row64[c]-row32[c]) > tol {
+					return false
+				}
+				if row64[c] > best {
+					best, second, bi = row64[c], best, c
+				} else if row64[c] > second {
+					second = row64[c]
+				}
+			}
+			// Non-degenerate peak: the float32 row must elect the same lag.
+			if best-second > 2e-5*math.Max(best, 1) {
+				b32, bi32 := -1.0, 0
+				for c, v := range row32 {
+					if v > b32 {
+						b32, bi32 = v, c
+					}
+				}
+				if bi32 != bi {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPrecisionFloat32Incremental pins the float32 incremental engine to
+// the float32 batch engine bit for bit (same arithmetic, different
+// bookkeeping), through a slide with head drops.
+func TestPrecisionFloat32Incremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	s := randomSeries(rng, 3, 2, 30, 120)
+	const w = 10
+	inc, err := NewIncrementalPrecision(s.Rate, s.NumAnts, s.NumTx, w, PrecisionFloat32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Precision() != PrecisionFloat32 {
+		t.Fatal("precision did not stick")
+	}
+	inc.SetParallelism(1)
+	next, start := 0, 0
+	for _, step := range []struct{ app, drop int }{{60, 0}, {30, 25}, {30, 28}} {
+		for k := 0; k < step.app; k++ {
+			if err := inc.Append(seriesSnapshot(s, next)); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		inc.DropFront(step.drop)
+		start += step.drop
+		got, err := inc.ExtendMatrix(0, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := windowEngine32(s, start, next)
+		requireIdentical(t, "incremental-f32", oracle.BaseMatrixSerial(0, 2, w), got)
+		// EngineView must expose the float32 planes for point queries.
+		view, err := inc.EngineView(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := view.Base(0, 2, 3, 1), oracle.Base(0, 2, 3, 1)
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("f32 view Base %x, want %x", a, b)
+		}
+	}
+}
+
+// windowEngine32 is windowEngine at float32 precision.
+func windowEngine32(s *csi.Series, from, to int) *Engine {
+	sub := &csi.Series{
+		Rate:    s.Rate,
+		NumAnts: s.NumAnts,
+		NumTx:   s.NumTx,
+		NumSub:  s.NumSub,
+		H:       make([][][][]complex128, s.NumAnts),
+	}
+	for a := 0; a < s.NumAnts; a++ {
+		sub.H[a] = make([][][]complex128, s.NumTx)
+		for tx := 0; tx < s.NumTx; tx++ {
+			sub.H[a][tx] = s.H[a][tx][from:to]
+		}
+	}
+	return NewEnginePrecision(sub, PrecisionFloat32)
+}
+
+// TestExtendMatricesMatchesPerPair drives two identical Incrementals
+// through the Streamer's hop pattern, refreshing one with the batched
+// ExtendMatrices and the other pair by pair, and requires bit-identical
+// matrices at every hop — plus the serial batch oracle over the window.
+// Also covers the fast path (repeat call returns the same matrices) and
+// duplicate pairs in the request.
+func TestExtendMatricesMatchesPerPair(t *testing.T) {
+	s := walkSeries(t, false)
+	const w = 12
+	mk := func() *Incremental {
+		inc, err := NewIncremental(s.Rate, s.NumAnts, s.NumTx, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc.SetParallelism(1)
+		return inc
+	}
+	batched, perPair := mk(), mk()
+	pairs := []PairSpec{{I: 0, J: 1}, {I: 0, J: 2}, {I: 1, J: 2}, {I: 0, J: 1}} // duplicate on purpose
+	next, start := 0, 0
+	for _, step := range []struct{ app, drop int }{{80, 0}, {25, 25}, {25, 25}, {10, 40}} {
+		for k := 0; k < step.app && next < s.NumSlots(); k++ {
+			snap := seriesSnapshot(s, next)
+			if err := batched.Append(snap); err != nil {
+				t.Fatal(err)
+			}
+			if err := perPair.Append(snap); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		batched.DropFront(step.drop)
+		perPair.DropFront(step.drop)
+		start += step.drop
+		if start > next {
+			start = next
+		}
+
+		got, err := batched.ExtendMatrices(pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(pairs) {
+			t.Fatalf("ExtendMatrices returned %d matrices for %d pairs", len(got), len(pairs))
+		}
+		oracle := windowEngine(s, start, next)
+		for k, p := range pairs {
+			want, err := perPair.ExtendMatrix(p.I, p.J)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdentical(t, "batched-vs-perpair", want, got[k])
+			requireIdentical(t, "batched-vs-oracle", oracle.BaseMatrixSerial(p.I, p.J, w), got[k])
+		}
+		if got[0] != got[3] {
+			t.Fatal("duplicate pair must share one matrix")
+		}
+		// Unchanged window: the fast path returns the same matrices.
+		again, err := batched.ExtendMatrices(pairs[:3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range again {
+			if again[k] != got[k] {
+				t.Fatalf("fast path rebuilt matrix %d", k)
+			}
+		}
+	}
+
+	// Out-of-range pair reports an error.
+	if _, err := batched.ExtendMatrices([]PairSpec{{I: 0, J: 99}}); err == nil {
+		t.Fatal("out-of-range pair must error")
+	}
+}

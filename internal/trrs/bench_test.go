@@ -177,3 +177,141 @@ var (
 	sinkMatrices []*Matrix
 	sinkRows     [][]float64
 )
+
+// BenchmarkTRRSMatrixVector is the serial build with the opt-in vector
+// (lag-sweep) kernel — AVX2+FMA assembly where supported.
+func BenchmarkTRRSMatrixVector(b *testing.B) {
+	s, w := benchFixture(b)
+	e := NewEngine(s)
+	e.SetKernel(KernelVector)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkMatrix = e.BaseMatrixSerial(0, 2, w)
+	}
+}
+
+// BenchmarkTRRSMatrixUnrolled8 is the serial build with the 8-accumulator
+// scalar kernel (the vector-shaped reference; measured slower than
+// sequential on scalar FP ports — kept honest in BENCH_trrs.json).
+func BenchmarkTRRSMatrixUnrolled8(b *testing.B) {
+	s, w := benchFixture(b)
+	e := NewEngine(s)
+	e.SetKernel(KernelUnrolled8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkMatrix = e.BaseMatrixSerial(0, 2, w)
+	}
+}
+
+// BenchmarkTRRSMatrixFloat32 is the serial build on float32 planes (the
+// float32 sweep kernel: half the memory traffic, twice the lanes).
+func BenchmarkTRRSMatrixFloat32(b *testing.B) {
+	s, w := benchFixture(b)
+	e := NewEnginePrecision(s, PrecisionFloat32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkMatrix = e.BaseMatrixSerial(0, 2, w)
+	}
+}
+
+// bulkPairs is the three-distinct-pair workload of a linear array, with
+// no symmetry shortcuts — the cross-pair batching benchmark set.
+var bulkPairs = []PairSpec{{I: 0, J: 1}, {I: 0, J: 2}, {I: 1, J: 2}}
+
+// BenchmarkTRRSMatricesPerPair is the pre-batching build shape: each pair
+// built in its own single-pair pass (sequential kernel, one core) — the
+// denominator of the batched-build speedup.
+func BenchmarkTRRSMatricesPerPair(b *testing.B) {
+	s, w := benchFixture(b)
+	e := NewEngine(s)
+	e.SetParallelism(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range bulkPairs {
+			sinkMatrix = e.BaseMatrixSerial(p.I, p.J, w)
+		}
+	}
+}
+
+// BenchmarkTRRSMatricesBatched is the same three pairs through the
+// cross-pair batched schedule (sequential kernel, one core) — isolates
+// the layout/ordering effect from the kernel change.
+func BenchmarkTRRSMatricesBatched(b *testing.B) {
+	s, w := benchFixture(b)
+	e := NewEngine(s)
+	e.SetParallelism(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkMatrices = e.BaseMatrices(bulkPairs, w)
+	}
+}
+
+// BenchmarkTRRSMatricesBatchedVector is the batched build with the vector
+// kernel — the new fast path for bulk construction.
+func BenchmarkTRRSMatricesBatchedVector(b *testing.B) {
+	s, w := benchFixture(b)
+	e := NewEngine(s)
+	e.SetParallelism(1)
+	e.SetKernel(KernelVector)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkMatrices = e.BaseMatrices(bulkPairs, w)
+	}
+}
+
+// BenchmarkTRRSMatricesBatchedFloat32 is the batched build on float32
+// planes.
+func BenchmarkTRRSMatricesBatchedFloat32(b *testing.B) {
+	s, w := benchFixture(b)
+	e := NewEnginePrecision(s, PrecisionFloat32)
+	e.SetParallelism(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkMatrices = e.BaseMatrices(bulkPairs, w)
+	}
+}
+
+// BenchmarkTRRSIncrementalHopBatched is the steady-state hop refreshing
+// all three pairs through the batched ExtendMatrices (Parallelism 1,
+// zero allocs — see TestExtendMatricesAllocFree).
+func BenchmarkTRRSIncrementalHopBatched(b *testing.B) {
+	s, w := benchFixture(b)
+	const hop = 50
+	inc, err := NewIncremental(s.Rate, s.NumAnts, s.NumTx, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inc.SetParallelism(1)
+	snaps := make([][][][]complex128, s.NumSlots())
+	for ti := range snaps {
+		snaps[ti] = seriesSnapshot(s, ti)
+	}
+	for ti := 0; ti < s.NumSlots(); ti++ {
+		if err := inc.Append(snaps[ti]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	k := 0
+	hopOnce := func() {
+		for n := 0; n < hop; n++ {
+			if err := inc.Append(snaps[k%len(snaps)]); err != nil {
+				b.Fatal(err)
+			}
+			k++
+		}
+		inc.DropFront(hop)
+		ms, err := inc.ExtendMatrices(bulkPairs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkMatrices = ms
+	}
+	for n := 0; n < 12; n++ {
+		hopOnce()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hopOnce()
+	}
+}

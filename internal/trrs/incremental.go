@@ -57,13 +57,18 @@ type Incremental struct {
 	// tones is the uniform per-snapshot vector length, learned from the
 	// first Append (-1 before).
 	tones int
+	// prec selects the ring-plane precision; in float32 mode the
+	// rePlane32/imPlane32 planes hold the window and the float64 planes
+	// stay nil (conversion happens once, in Append).
+	prec Precision
 	// rePlane[ant][tx] / imPlane[ant][tx] are the SoA ring planes; the
 	// live window occupies [head·tones, (head+n)·tones) where
 	// n = end − start. len(plane) is always (head+n)·tones.
-	rePlane, imPlane [][][]float64
-	head             int
-	start, end       int
-	mats             map[PairSpec]*incMat
+	rePlane, imPlane     [][][]float64
+	rePlane32, imPlane32 [][][]float32
+	head                 int
+	start, end           int
+	mats                 map[PairSpec]*incMat
 
 	// view is the cached full-array engine ExtendMatrix refreshes in
 	// place every call (EngineView allocates fresh ones for external
@@ -72,6 +77,15 @@ type Incremental struct {
 	view         *Engine
 	viewAnts     []int
 	staleScratch []int
+
+	// ExtendMatrices scratch, reused across hops so the batched refresh
+	// stays allocation-free in steady state: the returned matrices, the
+	// pair-major stale work list with per-pair segment offsets, and the
+	// row-major interleaved fill order.
+	batchOut   []*Matrix
+	batchWork  []batchItem
+	batchSeg   []int
+	batchOrder []batchItem
 
 	// Observability handles (nil = unobserved): per-ExtendMatrix rows
 	// carried over untouched vs invalidated-and-recomputed, plus the
@@ -103,6 +117,14 @@ type incMat struct {
 // shape. w is the one-sided lag window of the maintained matrices, in
 // slots; it must match the W the analysis will ask for.
 func NewIncremental(rate float64, numAnts, numTx, w int) (*Incremental, error) {
+	return NewIncrementalPrecision(rate, numAnts, numTx, w, PrecisionFloat64)
+}
+
+// NewIncrementalPrecision is NewIncremental with an explicit ring-plane
+// precision. PrecisionFloat32 converts snapshots to float32 once in
+// Append and runs every row fill through the float32 sweep kernels; see
+// Precision for the error budget.
+func NewIncrementalPrecision(rate float64, numAnts, numTx, w int, prec Precision) (*Incremental, error) {
 	if rate <= 0 {
 		return nil, fmt.Errorf("trrs: incremental rate must be positive, got %v", rate)
 	}
@@ -113,21 +135,34 @@ func NewIncremental(rate float64, numAnts, numTx, w int) (*Incremental, error) {
 		return nil, fmt.Errorf("trrs: incremental lag window W=%d must be non-negative", w)
 	}
 	inc := &Incremental{
-		rate:    rate,
-		numAnt:  numAnts,
-		numTx:   numTx,
-		w:       w,
-		tones:   -1,
-		rePlane: make([][][]float64, numAnts),
-		imPlane: make([][][]float64, numAnts),
-		mats:    map[PairSpec]*incMat{},
+		rate:   rate,
+		numAnt: numAnts,
+		numTx:  numTx,
+		w:      w,
+		prec:   prec,
+		tones:  -1,
+		mats:   map[PairSpec]*incMat{},
 	}
+	if prec == PrecisionFloat32 {
+		inc.rePlane32 = make([][][]float32, numAnts)
+		inc.imPlane32 = make([][][]float32, numAnts)
+		for a := 0; a < numAnts; a++ {
+			inc.rePlane32[a] = make([][]float32, numTx)
+			inc.imPlane32[a] = make([][]float32, numTx)
+		}
+		return inc, nil
+	}
+	inc.rePlane = make([][][]float64, numAnts)
+	inc.imPlane = make([][][]float64, numAnts)
 	for a := 0; a < numAnts; a++ {
 		inc.rePlane[a] = make([][]float64, numTx)
 		inc.imPlane[a] = make([][]float64, numTx)
 	}
 	return inc, nil
 }
+
+// Precision returns the ring-plane precision.
+func (inc *Incremental) Precision() Precision { return inc.prec }
 
 // SetParallelism sets the worker count used when refreshing matrices
 // (same semantics as Engine.SetParallelism).
@@ -195,7 +230,12 @@ func (inc *Incremental) ensureTail(n int) {
 		return
 	}
 	need := (inc.head + n + 1) * tones
-	c := cap(inc.rePlane[0][0])
+	var c int
+	if inc.prec == PrecisionFloat32 {
+		c = cap(inc.rePlane32[0][0])
+	} else {
+		c = cap(inc.rePlane[0][0])
+	}
 	if c >= need {
 		return
 	}
@@ -204,6 +244,15 @@ func (inc *Incremental) ensureTail(n int) {
 		liveLo, liveHi := inc.head*tones, (inc.head+n)*tones
 		for a := 0; a < inc.numAnt; a++ {
 			for tx := 0; tx < inc.numTx; tx++ {
+				if inc.prec == PrecisionFloat32 {
+					p := inc.rePlane32[a][tx]
+					copy(p[:n*tones], p[liveLo:liveHi])
+					inc.rePlane32[a][tx] = p[:n*tones]
+					p = inc.imPlane32[a][tx]
+					copy(p[:n*tones], p[liveLo:liveHi])
+					inc.imPlane32[a][tx] = p[:n*tones]
+					continue
+				}
 				p := inc.rePlane[a][tx]
 				copy(p[:n*tones], p[liveLo:liveHi])
 				inc.rePlane[a][tx] = p[:n*tones]
@@ -221,6 +270,15 @@ func (inc *Incremental) ensureTail(n int) {
 	liveLo, liveHi := inc.head*tones, (inc.head+n)*tones
 	for a := 0; a < inc.numAnt; a++ {
 		for tx := 0; tx < inc.numTx; tx++ {
+			if inc.prec == PrecisionFloat32 {
+				np := make([]float32, n*tones, newCap)
+				copy(np, inc.rePlane32[a][tx][liveLo:liveHi])
+				inc.rePlane32[a][tx] = np
+				np = make([]float32, n*tones, newCap)
+				copy(np, inc.imPlane32[a][tx][liveLo:liveHi])
+				inc.imPlane32[a][tx] = np
+				continue
+			}
 			np := make([]float64, n*tones, newCap)
 			copy(np, inc.rePlane[a][tx][liveLo:liveHi])
 			inc.rePlane[a][tx] = np
@@ -263,6 +321,19 @@ func (inc *Incremental) Append(snapshot [][][]complex128) error {
 	o := (inc.head + n) * inc.tones
 	for a := range snapshot {
 		for tx := 0; tx < inc.numTx; tx++ {
+			if inc.prec == PrecisionFloat32 {
+				reP := inc.rePlane32[a][tx][:o+inc.tones]
+				imP := inc.imPlane32[a][tx][:o+inc.tones]
+				dstRe, dstIm := reP[o:], imP[o:]
+				for k, c := range snapshot[a][tx] {
+					dstRe[k] = float32(real(c))
+					dstIm[k] = float32(imag(c))
+				}
+				sigproc.NormalizeSoA32(dstRe, dstIm)
+				inc.rePlane32[a][tx] = reP
+				inc.imPlane32[a][tx] = imP
+				continue
+			}
 			reP := inc.rePlane[a][tx][:o+inc.tones]
 			imP := inc.imPlane[a][tx][:o+inc.tones]
 			dstRe, dstIm := reP[o:], imP[o:]
@@ -306,6 +377,7 @@ func (inc *Incremental) viewInto(e *Engine, ants []int) error {
 	e.numTx = inc.numTx
 	e.slots = inc.NumSlots()
 	e.tones = tones
+	e.prec = inc.prec
 	e.kernel = inc.kernel
 	e.par = inc.par
 	e.rowsFilled = inc.rowsFilled
@@ -318,6 +390,11 @@ func (inc *Incremental) viewInto(e *Engine, ants []int) error {
 			return fmt.Errorf("trrs: EngineView antenna %d out of range [0,%d)", a, inc.numAnt)
 		}
 		for tx := 0; tx < inc.numTx; tx++ {
+			if inc.prec == PrecisionFloat32 {
+				e.re32[k][tx] = inc.rePlane32[a][tx][lo:hi]
+				e.im32[k][tx] = inc.imPlane32[a][tx][lo:hi]
+				continue
+			}
 			e.re[k][tx] = inc.rePlane[a][tx][lo:hi]
 			e.im[k][tx] = inc.imPlane[a][tx][lo:hi]
 		}
@@ -339,32 +416,40 @@ func (inc *Incremental) EngineView(ants []int) (*Engine, error) {
 			ants[a] = a
 		}
 	}
-	e := &Engine{
-		re: make([][][]float64, len(ants)),
-		im: make([][][]float64, len(ants)),
-	}
-	for k := range e.re {
-		e.re[k] = make([][]float64, inc.numTx)
-		e.im[k] = make([][]float64, inc.numTx)
-	}
+	e := inc.newViewShell(len(ants))
 	if err := inc.viewInto(e, ants); err != nil {
 		return nil, err
 	}
 	return e, nil
 }
 
+// newViewShell allocates an engine shell with the right plane precision
+// for viewInto to point at the window.
+func (inc *Incremental) newViewShell(numAnts int) *Engine {
+	e := &Engine{}
+	if inc.prec == PrecisionFloat32 {
+		e.re32 = make([][][]float32, numAnts)
+		e.im32 = make([][][]float32, numAnts)
+		for k := range e.re32 {
+			e.re32[k] = make([][]float32, inc.numTx)
+			e.im32[k] = make([][]float32, inc.numTx)
+		}
+		return e
+	}
+	e.re = make([][][]float64, numAnts)
+	e.im = make([][][]float64, numAnts)
+	for k := range e.re {
+		e.re[k] = make([][]float64, inc.numTx)
+		e.im[k] = make([][]float64, inc.numTx)
+	}
+	return e
+}
+
 // fullView refreshes (lazily building) the cached all-antenna view used
 // by ExtendMatrix, so the steady-state hop allocates nothing.
 func (inc *Incremental) fullView() *Engine {
 	if inc.view == nil {
-		inc.view = &Engine{
-			re: make([][][]float64, inc.numAnt),
-			im: make([][][]float64, inc.numAnt),
-		}
-		for a := 0; a < inc.numAnt; a++ {
-			inc.view.re[a] = make([][]float64, inc.numTx)
-			inc.view.im[a] = make([][]float64, inc.numTx)
-		}
+		inc.view = inc.newViewShell(inc.numAnt)
 		inc.viewAnts = make([]int, inc.numAnt)
 		for a := range inc.viewAnts {
 			inc.viewAnts[a] = a
@@ -387,17 +472,36 @@ func (inc *Incremental) ExtendMatrix(i, j int) (*Matrix, error) {
 	if i < 0 || i >= inc.numAnt || j < 0 || j >= inc.numAnt {
 		return nil, fmt.Errorf("trrs: ExtendMatrix pair (%d,%d) out of range [0,%d)", i, j, inc.numAnt)
 	}
+	im := inc.matFor(i, j)
+	if im.m != nil && im.start == inc.start && im.end == inc.end {
+		return im.m, nil
+	}
+	stale := inc.staleScratch[:0]
+	m, stale := inc.carry(im, i, j, stale)
+	inc.staleScratch = stale
+	inc.fullView().fillRowsSharded(m, stale)
+	return m, nil
+}
+
+// matFor returns (creating on first use) the maintained state of a pair.
+func (inc *Incremental) matFor(i, j int) *incMat {
 	key := PairSpec{I: i, J: j}
 	im, ok := inc.mats[key]
 	if !ok {
 		im = &incMat{}
 		inc.mats[key] = im
 	}
-	if im.m != nil && im.start == inc.start && im.end == inc.end {
-		return im.m, nil
-	}
-	e := inc.fullView()
+	return im
+}
 
+// carry advances pair (i, j)'s maintained matrix to the current window:
+// it sizes the next-generation backing, copies every row still valid from
+// the previous generation, appends the local indices of the stale rows to
+// stale, commits the generation swap and the reuse/stale accounting, and
+// returns the new matrix with its stale rows NOT yet computed — the
+// caller fills them (fillRowsSharded for a single pair, fillRowsBatch for
+// a cross-pair batch).
+func (inc *Incremental) carry(im *incMat, i, j int, stale []int) (*Matrix, []int) {
 	tSlots := inc.NumSlots()
 	width := 2*inc.w + 1
 	nxt := 1 - im.cur
@@ -412,7 +516,7 @@ func (inc *Incremental) ExtendMatrix(i, j int) (*Matrix, error) {
 	}
 	rows = rows[:tSlots]
 
-	stale := inc.staleScratch[:0]
+	nPrev := len(stale)
 	for t := 0; t < tSlots; t++ {
 		row := flat[t*width : (t+1)*width]
 		rows[t] = row
@@ -433,20 +537,75 @@ func (inc *Incremental) ExtendMatrix(i, j int) (*Matrix, error) {
 			stale = append(stale, t)
 		}
 	}
-	inc.staleScratch = stale
+	nStale := len(stale) - nPrev
 
 	m := &im.hdr[nxt]
 	*m = Matrix{I: i, J: j, W: inc.w, Rate: inc.rate, Vals: rows}
-	inc.rowsReused.Add(uint64(tSlots - len(stale)))
-	inc.rowsStale.Add(uint64(len(stale)))
+	inc.rowsReused.Add(uint64(tSlots - nStale))
+	inc.rowsStale.Add(uint64(nStale))
 	if inc.trc != nil {
 		inc.trc.Emit(trace.KindTRRSExtend, inc.hop, trace.PairCode(i, j),
-			int64(tSlots-len(stale)), int64(len(stale)))
+			int64(tSlots-nStale), int64(nStale))
 	}
-	e.fillRowsSharded(m, stale)
 	im.flats[nxt] = flat
 	im.rows[nxt] = rows
 	im.cur = nxt
 	im.m, im.start, im.end = m, inc.start, inc.end
-	return m, nil
+	return m, stale
+}
+
+// ExtendMatrices is the cross-pair batched form of ExtendMatrix: it
+// advances every listed pair's matrix to the current window and fills all
+// their stale rows in one batched pass, interleaved row-major across
+// pairs — consecutive fills sweep the same slot range of the CSI planes,
+// so each freshly appended time block is read once and feeds every pair
+// sharing it (in steady state every pair is stale on exactly the same
+// rows, making the interleave a perfect block-major walk). The result
+// slice and the matrices obey ExtendMatrix's ownership rules (valid until
+// the next refresh; the slice itself is reused by the next call).
+// Duplicate pairs are served by the per-pair fast path. Row values are
+// bit-for-bit what per-pair ExtendMatrix calls would produce.
+func (inc *Incremental) ExtendMatrices(pairs []PairSpec) ([]*Matrix, error) {
+	out := inc.batchOut[:0]
+	work := inc.batchWork[:0]
+	seg := inc.batchSeg[:0]
+	seg = append(seg, 0)
+	touched := 0
+	for _, p := range pairs {
+		if p.I < 0 || p.I >= inc.numAnt || p.J < 0 || p.J >= inc.numAnt {
+			inc.batchOut, inc.batchWork, inc.batchSeg = out, work, seg
+			return nil, fmt.Errorf("trrs: ExtendMatrices pair (%d,%d) out of range [0,%d)", p.I, p.J, inc.numAnt)
+		}
+		im := inc.matFor(p.I, p.J)
+		if im.m != nil && im.start == inc.start && im.end == inc.end {
+			out = append(out, im.m)
+			seg = append(seg, len(work))
+			continue
+		}
+		stale := inc.staleScratch[:0]
+		m, stale := inc.carry(im, p.I, p.J, stale)
+		inc.staleScratch = stale
+		touched++
+		for _, t := range stale {
+			work = append(work, batchItem{m: m, t: t})
+		}
+		out = append(out, m)
+		seg = append(seg, len(work))
+	}
+	// Interleave the pair-major segments row-major: position pos of every
+	// pair's stale list, pair by pair, then pos+1.
+	order := inc.batchOrder[:0]
+	for pos := 0; len(order) < len(work); pos++ {
+		for k := 0; k+1 < len(seg); k++ {
+			s := work[seg[k]:seg[k+1]]
+			if pos < len(s) {
+				order = append(order, s[pos])
+			}
+		}
+	}
+	if len(order) > 0 {
+		inc.fullView().fillRowsBatch(order, touched)
+	}
+	inc.batchOut, inc.batchWork, inc.batchSeg, inc.batchOrder = out, work, seg, order
+	return out, nil
 }

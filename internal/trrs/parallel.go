@@ -19,6 +19,42 @@ type shard struct {
 	t0, t1 int // row range [t0, t1)
 }
 
+// batchPlan is the cross-pair batched schedule of a multi-pair build: the
+// shards are ordered time-block-major (all pairs of block [t0, t1), then
+// all pairs of the next block) instead of pair-major. Rows t ∈ [t0, t1)
+// of every pair sweep the same slot range [t0−W, t1) of the CSI planes,
+// and distinct pairs share antenna planes, so one pass over each time
+// block feeds every pair sharing it: the block's plane data is read from
+// memory once and reused from cache across pairs, rather than streamed
+// from memory once per pair. The schedule is a pure reordering of
+// independent row fills, so the output is bit-for-bit unchanged.
+type batchPlan struct {
+	block  int
+	shards []shard
+}
+
+// planBatches builds the block-major schedule for the given computed-pair
+// indices. The block size balances scheduling overhead against load
+// balance and cache footprint: every worker gets several blocks, never
+// below 16 rows.
+func (e *Engine) planBatches(compute []int, workers int) batchPlan {
+	block := e.slots / (workers * 4)
+	if block < 16 {
+		block = 16
+	}
+	plan := batchPlan{block: block}
+	for t0 := 0; t0 < e.slots; t0 += block {
+		t1 := t0 + block
+		if t1 > e.slots {
+			t1 = e.slots
+		}
+		for _, k := range compute {
+			plan.shards = append(plan.shards, shard{pair: k, t0: t0, t1: t1})
+		}
+	}
+	return plan
+}
+
 // Hermitian symmetry of the TRRS (Eq. 2/3): κ̄(Hᵢ(t), Hⱼ(t′)) =
 // κ̄(Hⱼ(t′), Hᵢ(t)), because swapping the arguments conjugates the inner
 // product and |·|² discards the sign of the imaginary part. In base-matrix
@@ -123,7 +159,10 @@ func (e *Engine) BaseMatrices(pairs []PairSpec, w int) []*Matrix {
 		e.trc.Emit(trace.KindTRRSFill, e.hop, -1, int64(len(compute)*e.slots), int64(len(pairs)))
 	}
 
-	// Phase 1: fill the computed matrices (self-pairs: half band only).
+	// Phase 1: fill the computed matrices (self-pairs: half band only),
+	// cross-pair batched: the batchPlan orders the work time-block-major so
+	// each block of the CSI planes is read once and reused across every
+	// pair sharing it (see batchPlan).
 	fill := func(k, t int) {
 		p, m := pairs[k], out[k]
 		if p.I == p.J {
@@ -135,31 +174,16 @@ func (e *Engine) BaseMatrices(pairs []PairSpec, w int) []*Matrix {
 	workers := e.workers()
 	if workers == 1 || e.slots == 0 {
 		e.poolGauge.Set(1)
-		for _, k := range compute {
-			for t := 0; t < e.slots; t++ {
-				fill(k, t)
+		plan := e.planBatches(compute, 1)
+		for _, sh := range plan.shards {
+			for t := sh.t0; t < sh.t1; t++ {
+				fill(sh.pair, t)
 			}
 		}
 	} else {
-		// Block size balances scheduling overhead against load balance:
-		// small enough that every worker gets several blocks, never below
-		// 16 rows.
-		block := e.slots / (workers * 4)
-		if block < 16 {
-			block = 16
-		}
-		var shards []shard
-		for _, k := range compute {
-			for t0 := 0; t0 < e.slots; t0 += block {
-				t1 := t0 + block
-				if t1 > e.slots {
-					t1 = e.slots
-				}
-				shards = append(shards, shard{pair: k, t0: t0, t1: t1})
-			}
-		}
-		if workers > len(shards) {
-			workers = len(shards)
+		plan := e.planBatches(compute, workers)
+		if workers > len(plan.shards) {
+			workers = len(plan.shards)
 		}
 		e.poolGauge.Set(float64(workers))
 
@@ -171,10 +195,10 @@ func (e *Engine) BaseMatrices(pairs []PairSpec, w int) []*Matrix {
 				defer wg.Done()
 				for {
 					n := int(next.Add(1)) - 1
-					if n >= len(shards) {
+					if n >= len(plan.shards) {
 						return
 					}
-					sh := shards[n]
+					sh := plan.shards[n]
 					for t := sh.t0; t < sh.t1; t++ {
 						fill(sh.pair, t)
 					}
@@ -238,6 +262,53 @@ func (e *Engine) fillRowsSharded(m *Matrix, rows []int) {
 				}
 				t := rows[n]
 				e.fillRow(m.Vals[t], m.I, m.J, m.W, t)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// batchItem is one row fill of a multi-pair batched refresh.
+type batchItem struct {
+	m *Matrix
+	t int
+}
+
+// fillRowsBatch recomputes an explicit set of (matrix, row) items using
+// the engine's worker pool — the cross-pair batched counterpart of
+// fillRowsSharded, used by Incremental.ExtendMatrices. The caller orders
+// the items row-major across pairs so consecutive items sweep the same
+// slot range of the CSI planes; with one worker that order is executed
+// exactly, with more it is the pool's pickup order. Emits one bulk
+// trace.KindTRRSFill event (Frame −1) like a multi-pair build.
+func (e *Engine) fillRowsBatch(items []batchItem, pairsTouched int) {
+	e.rowsFilled.Add(uint64(len(items)))
+	if e.trc != nil {
+		e.trc.Emit(trace.KindTRRSFill, e.hop, -1, int64(len(items)), int64(pairsTouched))
+	}
+	workers := e.workers()
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for _, it := range items {
+			e.fillRow(it.m.Vals[it.t], it.m.I, it.m.J, it.m.W, it.t)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= len(items) {
+					return
+				}
+				it := items[n]
+				e.fillRow(it.m.Vals[it.t], it.m.I, it.m.J, it.m.W, it.t)
 			}
 		}()
 	}

@@ -46,6 +46,21 @@ const (
 	// rounding — the equivalence suite bounds the difference at 1e-12
 	// relative. Opt-in via Config.Kernel or SetKernel.
 	KernelUnrolled4
+	// KernelUnrolled8 widens the accumulation to eight partial sums —
+	// the vector-shaped reference the assembly sweep kernels mirror
+	// (sigproc.DotSqSoA8). Measured caveat: with 16 live accumulators the
+	// scalar register file spills, so on current hardware this kernel is
+	// slower than the sequential one (see BENCH_trrs.json); it exists for
+	// shape documentation and as a portable stand-in where the real
+	// vector path is unavailable. Same 1e-12-relative gate as unrolled4.
+	KernelUnrolled8
+	// KernelVector evaluates whole base-matrix rows through the lag-sweep
+	// kernels (sigproc.DotSqSweepSoA): AVX2+FMA assembly on supporting
+	// amd64 hardware, scalar sweep elsewhere (sigproc.VecSupported
+	// reports which). Point queries (Base, SelfSeries) fall back to the
+	// sequential kernel — the sweep only pays off across a row. Results
+	// agree with the sequential kernel to 1e-12 relative.
+	KernelVector
 )
 
 // String implements fmt.Stringer.
@@ -55,8 +70,29 @@ func (k Kernel) String() string {
 		return "sequential"
 	case KernelUnrolled4:
 		return "unrolled4"
+	case KernelUnrolled8:
+		return "unrolled8"
+	case KernelVector:
+		return "vector"
 	default:
 		return fmt.Sprintf("kernel(%d)", uint8(k))
+	}
+}
+
+// ParseKernel converts a kernel name (as printed by Kernel.String) back to
+// the selector — the flag-parsing hook for rimtrack/rimserved/rimbench.
+func ParseKernel(s string) (Kernel, error) {
+	switch s {
+	case "sequential", "":
+		return KernelSequential, nil
+	case "unrolled4":
+		return KernelUnrolled4, nil
+	case "unrolled8":
+		return KernelUnrolled8, nil
+	case "vector":
+		return KernelVector, nil
+	default:
+		return 0, fmt.Errorf("trrs: unknown kernel %q (want sequential, unrolled4, unrolled8 or vector)", s)
 	}
 }
 
@@ -71,8 +107,13 @@ type Engine struct {
 	// (the SoA planes are uniform slabs).
 	tones int
 	// re[ant][tx] / im[ant][tx] are the SoA planes of unit-norm CSI:
-	// slot t occupies [t*tones, (t+1)*tones).
-	re, im [][][]float64
+	// slot t occupies [t*tones, (t+1)*tones). In float32 plane mode
+	// (prec == PrecisionFloat32) these are nil and re32/im32 hold the
+	// planes instead — converted once at ingest, never per query.
+	re, im     [][][]float64
+	re32, im32 [][][]float32
+	// prec selects the plane precision (see Precision).
+	prec Precision
 	// kernel selects the inner-product kernel (see Kernel).
 	kernel Kernel
 	// par is the worker count for matrix computation: 0 means GOMAXPROCS,
@@ -249,22 +290,50 @@ func (e *Engine) Base(i, j, ti, tj int) float64 {
 // matrix entry costs exactly one kernel call (the seed re-validated both
 // slot indices on every entry).
 func (e *Engine) base(i, j, ti, tj int) float64 {
+	if e.prec == PrecisionFloat32 {
+		return e.base32(i, j, ti, tj)
+	}
 	oi, oj := ti*e.tones, tj*e.tones
 	ri, ii := e.re[i], e.im[i]
 	rj, ij := e.re[j], e.im[j]
 	var sum float64
-	if e.kernel == KernelUnrolled4 {
+	switch e.kernel {
+	case KernelUnrolled4:
 		for tx := 0; tx < e.numTx; tx++ {
 			sum += sigproc.DotSqSoA4(
 				ri[tx][oi:oi+e.tones], ii[tx][oi:oi+e.tones],
 				rj[tx][oj:oj+e.tones], ij[tx][oj:oj+e.tones])
 		}
-	} else {
+	case KernelUnrolled8:
+		for tx := 0; tx < e.numTx; tx++ {
+			sum += sigproc.DotSqSoA8(
+				ri[tx][oi:oi+e.tones], ii[tx][oi:oi+e.tones],
+				rj[tx][oj:oj+e.tones], ij[tx][oj:oj+e.tones])
+		}
+	default:
+		// KernelSequential, and KernelVector's point queries: the sweep
+		// only pays off across a row, so single-entry evaluation keeps the
+		// bit-exact sequential arithmetic.
 		for tx := 0; tx < e.numTx; tx++ {
 			sum += sigproc.DotSqSoA(
 				ri[tx][oi:oi+e.tones], ii[tx][oi:oi+e.tones],
 				rj[tx][oj:oj+e.tones], ij[tx][oj:oj+e.tones])
 		}
+	}
+	return sum / float64(e.numTx)
+}
+
+// base32 is base over float32 planes: float32 accumulation per tx, tx
+// average in float64 (sigproc.DotSqSoA32 returns float64 |·|²).
+func (e *Engine) base32(i, j, ti, tj int) float64 {
+	oi, oj := ti*e.tones, tj*e.tones
+	ri, ii := e.re32[i], e.im32[i]
+	rj, ij := e.re32[j], e.im32[j]
+	var sum float64
+	for tx := 0; tx < e.numTx; tx++ {
+		sum += sigproc.DotSqSoA32(
+			ri[tx][oi:oi+e.tones], ii[tx][oi:oi+e.tones],
+			rj[tx][oj:oj+e.tones], ij[tx][oj:oj+e.tones])
 	}
 	return sum / float64(e.numTx)
 }
@@ -327,8 +396,67 @@ func (e *Engine) fillRowFrom(row []float64, i, j, w, t, cFrom int) {
 	for c := cHi; c < len(row); c++ {
 		row[c] = 0
 	}
-	for c := cLo; c < cHi; c++ {
-		row[c] = e.base(i, j, t, t-(c-w))
+	if cLo >= cHi {
+		return
+	}
+	// The in-range band is a lag sweep: column c evaluates slot t against
+	// slot t−(c−w), one slot earlier per column. Float32 plane mode and the
+	// opt-in vector kernel hand the whole band to the sigproc sweep
+	// primitives (AVX2+FMA assembly where available) instead of one kernel
+	// call per entry; the default path stays the bit-exact per-entry loop.
+	switch {
+	case e.prec == PrecisionFloat32:
+		e.sweepRow32(row[cLo:cHi], i, j, t, t-(cLo-w))
+	case e.kernel == KernelVector:
+		e.sweepRow(row[cLo:cHi], i, j, t, t-(cLo-w))
+	default:
+		for c := cLo; c < cHi; c++ {
+			row[c] = e.base(i, j, t, t-(c-w))
+		}
+	}
+}
+
+// sweepRow fills band[k] = κ̄(H_i(t), H_j(tjFirst−k)) via the float64 lag
+// sweep: zero the band, accumulate one strided sweep per tx (stride
+// −tones walks earlier slots as the lag grows), then divide by the tx
+// count. tjFirst is the slot the band's first column references; the
+// caller guarantees the whole band lies inside the series.
+func (e *Engine) sweepRow(band []float64, i, j, t, tjFirst int) {
+	for k := range band {
+		band[k] = 0
+	}
+	oi := t * e.tones
+	off := tjFirst * e.tones
+	for tx := 0; tx < e.numTx; tx++ {
+		sigproc.DotSqSweepSoA(band,
+			e.re[i][tx][oi:oi+e.tones], e.im[i][tx][oi:oi+e.tones],
+			e.re[j][tx], e.im[j][tx], off, -e.tones, e.tones)
+	}
+	if e.numTx > 1 {
+		ntx := float64(e.numTx)
+		for k := range band {
+			band[k] /= ntx
+		}
+	}
+}
+
+// sweepRow32 is sweepRow over the float32 planes.
+func (e *Engine) sweepRow32(band []float64, i, j, t, tjFirst int) {
+	for k := range band {
+		band[k] = 0
+	}
+	oi := t * e.tones
+	off := tjFirst * e.tones
+	for tx := 0; tx < e.numTx; tx++ {
+		sigproc.DotSqSweepSoA32(band,
+			e.re32[i][tx][oi:oi+e.tones], e.im32[i][tx][oi:oi+e.tones],
+			e.re32[j][tx], e.im32[j][tx], off, -e.tones, e.tones)
+	}
+	if e.numTx > 1 {
+		ntx := float64(e.numTx)
+		for k := range band {
+			band[k] /= ntx
+		}
 	}
 }
 
@@ -365,27 +493,7 @@ func (e *Engine) BaseMatrix(i, j, w int) *Matrix {
 // caller bug that would otherwise misindex the box filter; it is reported
 // as an error.
 func VirtualMassive(base *Matrix, v int) (*Matrix, error) {
-	if base == nil {
-		return nil, fmt.Errorf("trrs: VirtualMassive of nil matrix")
-	}
-	width := 2*base.W + 1
-	if base.W < 0 {
-		return nil, fmt.Errorf("trrs: VirtualMassive matrix has negative window W=%d", base.W)
-	}
-	for t, row := range base.Vals {
-		if len(row) != width {
-			return nil, fmt.Errorf("trrs: VirtualMassive matrix row %d has %d columns, want 2W+1 = %d",
-				t, len(row), width)
-		}
-	}
-	out := &Matrix{I: base.I, J: base.J, W: base.W, Rate: base.Rate}
-	out.Vals = make([][]float64, len(base.Vals))
-	flat := make([]float64, len(base.Vals)*width)
-	for t := range out.Vals {
-		out.Vals[t] = flat[t*width : (t+1)*width]
-	}
-	sigproc.BoxFilterColumns(out.Vals, base.Vals, v/2)
-	return out, nil
+	return VirtualMassiveInto(nil, base, v)
 }
 
 // PairMatrix is the convenience composition used everywhere: base matrix
@@ -406,53 +514,12 @@ func (e *Engine) PairMatrix(i, j, w, v int) *Matrix {
 // count would silently misindex (or average physically incomparable lags),
 // so any mismatch is reported as an error; an empty input is an error too.
 func AverageMatrices(ms ...*Matrix) (*Matrix, error) {
-	if len(ms) == 0 {
-		return nil, fmt.Errorf("trrs: AverageMatrices of no matrices")
-	}
-	first := ms[0]
-	if first == nil {
-		return nil, fmt.Errorf("trrs: AverageMatrices input 0 is nil")
-	}
-	slots := len(first.Vals)
-	width := 2*first.W + 1
-	for k, m := range ms {
-		switch {
-		case m == nil:
-			return nil, fmt.Errorf("trrs: AverageMatrices input %d is nil", k)
-		case m.W != first.W:
-			return nil, fmt.Errorf("trrs: AverageMatrices window mismatch: input %d has W=%d, input 0 has W=%d",
-				k, m.W, first.W)
-		case m.Rate != first.Rate:
-			return nil, fmt.Errorf("trrs: AverageMatrices rate mismatch: input %d has %v Hz, input 0 has %v Hz",
-				k, m.Rate, first.Rate)
-		case len(m.Vals) != slots:
-			return nil, fmt.Errorf("trrs: AverageMatrices slot-count mismatch: input %d has %d slots, input 0 has %d",
-				k, len(m.Vals), slots)
-		}
-		for t, row := range m.Vals {
-			if len(row) != width {
-				return nil, fmt.Errorf("trrs: AverageMatrices input %d row %d has %d columns, want 2W+1 = %d",
-					k, t, len(row), width)
-			}
-		}
-	}
-	out := &Matrix{I: first.I, J: first.J, W: first.W, Rate: first.Rate}
-	flat := make([]float64, slots*width)
-	inv := 1 / float64(len(ms))
-	for t := 0; t < slots; t++ {
-		row := flat[t*width : (t+1)*width]
-		for _, m := range ms {
-			src := m.Vals[t]
-			for c := 0; c < width; c++ {
-				row[c] += src[c]
-			}
-		}
-		for c := 0; c < width; c++ {
-			row[c] *= inv
-		}
-		out.Vals = append(out.Vals, row)
-	}
-	return out, nil
+	// Delegation note: AverageMatricesInto initializes each output row by
+	// copying the first input instead of accumulating onto zeros. For the
+	// non-negative values TRRS matrices hold, x and 0+x are bit-identical,
+	// so the two formulations produce the same matrices (pinned by the
+	// golden suites).
+	return AverageMatricesInto(nil, ms...)
 }
 
 // SelfSeries returns the movement-detection series of §4.1 for antenna i:
