@@ -14,6 +14,7 @@ import (
 	"rim/internal/core"
 	"rim/internal/csi"
 	"rim/internal/obs"
+	"rim/internal/obs/quality"
 )
 
 var updateBenchObs = flag.Bool("update-bench-obs", false, "rewrite BENCH_obs.json with this machine's measurements")
@@ -45,6 +46,11 @@ type obsBaseline struct {
 		// cost); LiveOverheadFrac is the measured live-registry slowdown.
 		NilOverheadFrac  float64 `json:"nil_overhead_frac"`
 		LiveOverheadFrac float64 `json:"live_overhead_frac"`
+		// QualityNsPerSlot / QualityOverheadFrac record the replay cost
+		// with the estimator-quality engine attached on top of the live
+		// registry, and its slowdown over the nil-registry replay.
+		QualityNsPerSlot    float64 `json:"quality_ns_per_slot"`
+		QualityOverheadFrac float64 `json:"quality_overhead_frac"`
 	} `json:"baseline"`
 	Note string `json:"note"`
 }
@@ -82,27 +88,34 @@ func obsGuardSeries(bl *obsBaseline) *csi.Series {
 }
 
 // nilOpCost measures one disabled instrumentation bundle: a nil-counter
-// increment plus a nil-span start/end (no clock reads, no atomics).
+// increment, a nil-span start/end (no clock reads, no atomics), and the
+// nil estimator-quality calls the streamer and fusion hot paths now carry.
 func nilOpCost() time.Duration {
 	var c *obs.Counter
 	var h *obs.Histogram
+	var e *quality.Engine
+	var m *quality.Monitor
 	const n = 1 << 21
 	t0 := time.Now()
 	for i := 0; i < n; i++ {
 		c.Inc()
 		sp := obs.StartSpan(h)
 		sp.End()
+		e.ObserveKappa(0.5)
+		e.ObserveOutcome(0.5, true)
+		m.Innovation(0, "nil", 0, 1)
 	}
 	return time.Since(t0) / n
 }
 
 // replaySlotCost replays the fixture through a streamer and returns the
 // best-of-reps wall time per slot.
-func replaySlotCost(s *csi.Series, reg *obs.Registry, reps int) time.Duration {
+func replaySlotCost(s *csi.Series, reg *obs.Registry, qual *quality.Engine, reps int) time.Duration {
 	cfg := core.StreamConfig{Core: core.DefaultConfig(array.NewLinear3(0.029))}
 	cfg.Core.WindowSeconds = 0.3
 	cfg.Core.V = 16
 	cfg.Core.Obs = reg
+	cfg.Core.Quality = qual
 	best := time.Duration(1<<63 - 1)
 	for r := 0; r < reps; r++ {
 		st, err := core.NewStreamer(cfg, s.Rate, s.NumAnts, s.NumTx, s.NumSub)
@@ -157,13 +170,16 @@ func TestObsOverheadGuard(t *testing.T) {
 	s := obsGuardSeries(&bl)
 	const reps = 3
 	perOp := nilOpCost()
-	nilSlot := replaySlotCost(s, nil, reps)
-	liveSlot := replaySlotCost(s, obs.NewRegistry(), reps)
+	nilSlot := replaySlotCost(s, nil, nil, reps)
+	liveSlot := replaySlotCost(s, obs.NewRegistry(), nil, reps)
+	qreg := obs.NewRegistry()
+	qualSlot := replaySlotCost(s, qreg, quality.New(quality.Config{Obs: qreg}), reps)
 
 	nilFrac := float64(perOp) * opsPerSlotBudget / float64(nilSlot)
 	liveFrac := float64(liveSlot)/float64(nilSlot) - 1
-	t.Logf("cores=%d nil op=%v slot(nil)=%v slot(live)=%v nil-budget overhead=%.3f%% live overhead=%.1f%%",
-		runtime.GOMAXPROCS(0), perOp, nilSlot, liveSlot, nilFrac*100, liveFrac*100)
+	qualFrac := float64(qualSlot)/float64(nilSlot) - 1
+	t.Logf("cores=%d nil op=%v slot(nil)=%v slot(live)=%v slot(quality)=%v nil-budget overhead=%.3f%% live overhead=%.1f%% quality overhead=%.1f%%",
+		runtime.GOMAXPROCS(0), perOp, nilSlot, liveSlot, qualSlot, nilFrac*100, liveFrac*100, qualFrac*100)
 
 	if nilFrac >= 0.02 {
 		t.Errorf("disabled instrumentation budget %.2f%% of a slot (>= 2%%): %v per op, %v per slot",
@@ -175,6 +191,13 @@ func TestObsOverheadGuard(t *testing.T) {
 		t.Errorf("live registry slows streaming by %.0f%% (> 25%%): nil %v/slot, live %v/slot",
 			liveFrac*100, nilSlot, liveSlot)
 	}
+	// The quality engine adds per-slot histogram observations on top of the
+	// live registry; it gets the same kind of loose ceiling, measured and
+	// recorded rather than assumed free.
+	if qualFrac > 0.30 {
+		t.Errorf("quality engine slows streaming by %.0f%% (> 30%%): nil %v/slot, quality %v/slot",
+			qualFrac*100, nilSlot, qualSlot)
+	}
 
 	if *updateBenchObs {
 		bl.Baseline.Cores = runtime.GOMAXPROCS(0)
@@ -183,6 +206,8 @@ func TestObsOverheadGuard(t *testing.T) {
 		bl.Baseline.LiveNsPerSlot = float64(liveSlot.Nanoseconds())
 		bl.Baseline.NilOverheadFrac = nilFrac
 		bl.Baseline.LiveOverheadFrac = liveFrac
+		bl.Baseline.QualityNsPerSlot = float64(qualSlot.Nanoseconds())
+		bl.Baseline.QualityOverheadFrac = qualFrac
 		out, err := json.MarshalIndent(&bl, "", "  ")
 		if err != nil {
 			t.Fatal(err)

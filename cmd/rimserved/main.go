@@ -18,6 +18,8 @@
 //	          [-metric-cardinality 0] [-confidence-floor 0]
 //	          [-slo-window 5m] [-slo-interval 5s] [-slo-lag-le 1.0]
 //	          [-slo-lag-target 0.99] [-slo-degraded-target 0.95]
+//	          [-quality] [-slo-quality-target 0]
+//	          [-mistune-session-prefix p] [-mistune-noise 0.01]
 //
 // On SIGINT/SIGTERM the daemon drains every session, persists final
 // checkpoints and exits; on the next start it restores them and resumes.
@@ -27,7 +29,11 @@
 // -metric-cardinality; colder sessions fold into {session="other"}), /slo
 // reports sliding-window error budgets — fleet objectives plus a
 // lag/degraded pair per live session — and a fast-burn page captures a
-// flight-recorder postmortem bundle. The rimtop command renders all of it.
+// flight-recorder postmortem bundle. /quality reports per-session
+// estimator-consistency verdicts (NIS chi-square bands, PF degeneracy)
+// and the fleet confidence-calibration curve; alerts capture their own
+// quality_breach bundle plus a rate-limited CPU profile. The rimtop
+// command renders all of it.
 package main
 
 import (
@@ -48,6 +54,7 @@ import (
 	"rim/internal/experiments"
 	"rim/internal/fusion"
 	"rim/internal/obs"
+	"rim/internal/obs/quality"
 	"rim/internal/obs/slo"
 	"rim/internal/obs/trace"
 	"rim/internal/session"
@@ -102,6 +109,10 @@ func main() {
 	sloDegTarget := flag.Float64("slo-degraded-target", 0.95, "degraded SLO: required fraction of estimates emitted non-degraded (0 disables)")
 	sloConfTarget := flag.Float64("slo-conf-target", 0, "confidence SLO: required fraction of moving estimates at or above -confidence-floor (0 disables)")
 	sloSessDegTarget := flag.Float64("slo-session-degraded-target", 0, "per-session degraded SLO target; a single bad walker needs a tighter target than the diluted fleet ratio (0 = use -slo-degraded-target)")
+	qualityOn := flag.Bool("quality", true, "estimator-quality monitors: per-channel NIS bands, TRRS signal telemetry, confidence calibration, /quality endpoint")
+	sloQualityTarget := flag.Float64("slo-quality-target", 0, "fleet quality SLO: required fraction of consistency samples inside their chi-square band (0 disables)")
+	mistunePrefix := flag.String("mistune-session-prefix", "", "quality self-test: inject Gaussian noise into the fusion inputs of sessions whose id has this prefix (empty disables)")
+	mistuneNoise := flag.Float64("mistune-noise", 0.01, "mistune injection noise std, metres/radians per step")
 	flag.Parse()
 
 	policy, ok := session.ParsePolicy(*policyName)
@@ -167,6 +178,40 @@ func main() {
 		Log:      log,
 	})
 
+	// On-breach CPU profiling: an SLO page or a quality alert drops a
+	// rate-limited pprof profile next to the postmortem bundle (nil when
+	// no bundle directory is configured).
+	profiler := obs.NewCPUProfiler(obs.CPUProfilerConfig{Dir: *pmOut, Log: log})
+
+	// Estimator-quality engine: one consistency monitor per session plus
+	// the fleet-wide TRRS signal telemetry and confidence calibration.
+	// Alert transitions get their own flight so a statistical breach
+	// cannot be starved out of the shared capture budget.
+	var qualityEng *quality.Engine
+	if *qualityOn {
+		qualityFlight := trace.NewFlight(trace.FlightConfig{
+			Recorder: rec,
+			Registry: reg,
+			Dir:      *pmOut,
+			Trigger:  func(reason string) bool { return reason == trace.ReasonQualityBreach },
+			Health:   registryHealth,
+			Log:      log,
+		})
+		qualityEng = quality.New(quality.Config{
+			Obs:    reg,
+			Trace:  rec,
+			Flight: qualityFlight,
+			OnTransition: func(entity string, from, to quality.State, channel string, frac float64) {
+				log.Warn("estimator quality transition", "session", entity,
+					"from", from.String(), "to", to.String(),
+					"channel", channel, "outside_frac", frac)
+				if to == quality.StateAlert {
+					profiler.Offer(trace.ReasonQualityBreach)
+				}
+			},
+		})
+	}
+
 	factory, err := session.NewCoreFactory(session.CoreFactoryConfig{
 		Template: core.StreamConfig{
 			Core: core.Config{
@@ -176,6 +221,7 @@ func main() {
 				Obs:           reg,
 				Trace:         rec,
 				Flight:        flight,
+				Quality:       qualityEng,
 				Logger:        log,
 			},
 			SpanSeconds: *span,
@@ -207,6 +253,9 @@ func main() {
 			Log:              log,
 			Fusion:           fusionCfg,
 			ConfidenceFloor:  *confFloor,
+			Quality:          qualityEng,
+			MistunePrefix:    *mistunePrefix,
+			MistuneNoiseStd:  *mistuneNoise,
 		},
 	})
 	if err != nil {
@@ -235,6 +284,7 @@ func main() {
 				"burn_short", s.BurnShort, "burn_long", s.BurnLong,
 				"budget_remaining", s.BudgetRemaining)
 			sloFlight.Offer(trace.ReasonSLOBreach, -1, s)
+			profiler.Offer(trace.ReasonSLOBreach)
 		},
 	})
 	registerFleetSLOs(sloEng, reg, metrics, sloParams{
@@ -244,6 +294,26 @@ func main() {
 		degTarget:  *sloDegTarget,
 		confTarget: *sloConfTarget,
 	})
+	if *sloQualityTarget > 0 && qualityEng != nil {
+		// Fleet quality objective: the fraction of consistency samples
+		// inside their chi-square band, across every session and channel.
+		eng := qualityEng
+		sloEng.Register(slo.Objective{
+			Name:   "fleet/quality",
+			Entity: "fleet",
+			Target: *sloQualityTarget,
+			Window: *sloWindow,
+			Source: func() slo.Sample {
+				samples, outside := eng.Totals()
+				return slo.Sample{Good: float64(samples - outside), Total: float64(samples)}
+			},
+		})
+	}
+
+	// Go runtime telemetry: GC pauses, heap, goroutines and scheduling
+	// latency as rim_runtime_* series for rimtop's header and /metrics.
+	stopRuntime := obs.NewRuntimeSampler(reg).Start(10 * time.Second)
+	defer stopRuntime()
 	sessDegTarget := *sloSessDegTarget
 	if sessDegTarget == 0 {
 		sessDegTarget = *sloDegTarget
@@ -263,6 +333,7 @@ func main() {
 			obs.Route{Pattern: "/debug/postmortem", Handler: flight.Handler()},
 			obs.Route{Pattern: "/sessions", Handler: registry.InfosHandler()},
 			obs.Route{Pattern: "/slo", Handler: sloEng.Handler()},
+			obs.Route{Pattern: "/quality", Handler: qualityEng.Handler()},
 		)
 		if err != nil {
 			fatal(err)

@@ -34,14 +34,23 @@ import (
 // sessionInfo mirrors the wire shape of rimserved's /sessions entries
 // (session.SessionInfo). State arrives as a string.
 type sessionInfo struct {
-	ID                     string  `json:"id"`
-	State                  string  `json:"state"`
-	QueueDepth             int     `json:"queue_depth"`
-	Restarts               int     `json:"restarts_total"`
-	Estimates              int     `json:"estimates"`
-	EstimatesDegraded      int     `json:"estimates_degraded"`
-	LowConfidence          int     `json:"low_confidence"`
-	LastEstimateAgeSeconds float64 `json:"last_estimate_age_seconds"`
+	ID                     string       `json:"id"`
+	State                  string       `json:"state"`
+	QueueDepth             int          `json:"queue_depth"`
+	Restarts               int          `json:"restarts_total"`
+	Estimates              int          `json:"estimates"`
+	EstimatesDegraded      int          `json:"estimates_degraded"`
+	LowConfidence          int          `json:"low_confidence"`
+	LastEstimateAgeSeconds float64      `json:"last_estimate_age_seconds"`
+	Quality                *qualityInfo `json:"quality"`
+}
+
+// qualityInfo mirrors session.QualityInfo: the estimator-consistency
+// verdict attached to a session when the daemon runs with -quality.
+type qualityInfo struct {
+	State       string  `json:"state"`
+	OutsideFrac float64 `json:"outside_frac"`
+	Samples     uint64  `json:"samples"`
 }
 
 // jsonFloat marshals NaN/Inf (no reading available) as null instead of
@@ -81,6 +90,8 @@ type row struct {
 	LastEstimateAgeSeconds float64 `json:"last_estimate_age_seconds"`
 	SLOState               string  `json:"slo_state,omitempty"`
 	BudgetRemaining        jsonFloat `json:"budget_remaining"`
+	QualityState           string    `json:"quality_state,omitempty"`
+	QualityOutsideFrac     float64   `json:"quality_outside_frac,omitempty"`
 }
 
 // snapshot is one poll of the whole fleet; also the -json wire shape.
@@ -93,6 +104,10 @@ type snapshot struct {
 	QueueDepth    jsonFloat  `json:"queue_depth"`
 	SLO           slo.Report `json:"slo"`
 	SLOAvailable  bool       `json:"slo_available"`
+	// Go runtime telemetry (rim_runtime_*; NaN when the daemon predates
+	// the sampler).
+	Goroutines jsonFloat `json:"goroutines"`
+	HeapBytes  jsonFloat `json:"heap_bytes"`
 }
 
 func main() {
@@ -221,6 +236,10 @@ func poll(client *http.Client, addr string) (*snapshot, error) {
 			r.SLOState = e.state
 			r.BudgetRemaining = jsonFloat(e.budget)
 		}
+		if si.Quality != nil {
+			r.QualityState = si.Quality.State
+			r.QualityOutsideFrac = si.Quality.OutsideFrac
+		}
 		snap.Sessions = append(snap.Sessions, r)
 	}
 	sort.SliceStable(snap.Sessions, func(i, j int) bool {
@@ -229,6 +248,8 @@ func poll(client *http.Client, addr string) (*snapshot, error) {
 
 	snap.FleetLagP99 = jsonFloat(ix.p99("rim_stream_lag_seconds", "", ""))
 	snap.QueueDepth = jsonFloat(ix.gauge("rim_session_queue_depth"))
+	snap.Goroutines = jsonFloat(ix.gauge("rim_runtime_goroutines"))
+	snap.HeapBytes = jsonFloat(ix.gauge("rim_runtime_heap_bytes"))
 	emitted, degraded := ix.sum("rim_stream_estimates_total"), ix.sum("rim_stream_estimates_degraded_total")
 	if emitted > 0 {
 		snap.FleetDegraded = degraded / emitted
@@ -259,13 +280,29 @@ func sessRank(s string) int {
 	return 0 // running
 }
 
-// worse is the worst-first sort: paging SLOs, then unhealthy supervisor
-// states, then symptoms (degraded share, lag, queue depth), with the
-// remaining error budget as the final tiebreaker — a 90%-budgeted session
-// should not outrank one that is visibly lagging just because the lagging
-// one has no SLO attached.
+// qualityRank orders estimator-quality verdicts by operator concern.
+func qualityRank(s string) int {
+	switch s {
+	case "alert":
+		return 2
+	case "warn":
+		return 1
+	}
+	return 0 // ok or unmonitored
+}
+
+// worse is the worst-first sort: paging SLOs, then statistically
+// inconsistent estimators (a quality alert means the filter is lying about
+// its covariance — worse than any throughput symptom), then unhealthy
+// supervisor states, then symptoms (degraded share, lag, queue depth),
+// with the remaining error budget as the final tiebreaker — a
+// 90%-budgeted session should not outrank one that is visibly lagging
+// just because the lagging one has no SLO attached.
 func worse(a, b row) bool {
 	if ar, br := stateRank(a.SLOState), stateRank(b.SLOState); ar != br {
+		return ar > br
+	}
+	if ar, br := qualityRank(a.QualityState), qualityRank(b.QualityState); ar != br {
 		return ar > br
 	}
 	if ar, br := sessRank(a.State), sessRank(b.State); ar != br {
@@ -327,9 +364,10 @@ func render(w io.Writer, snap *snapshot, maxRows int, clear bool) {
 	if clear {
 		sb.WriteString("\x1b[2J\x1b[H")
 	}
-	fmt.Fprintf(&sb, "rimtop — %s   fleet: %s   sessions: %d   queue: %.0f   lag p99: %s   degraded: %s\n",
+	fmt.Fprintf(&sb, "rimtop — %s   fleet: %s   sessions: %d   queue: %.0f   lag p99: %s   degraded: %s%s\n",
 		snap.Addr, strings.ToUpper(snap.FleetState), len(snap.Sessions),
-		nanZero(float64(snap.QueueDepth)), fmtSeconds(float64(snap.FleetLagP99)), fmtRatio(snap.FleetDegraded))
+		nanZero(float64(snap.QueueDepth)), fmtSeconds(float64(snap.FleetLagP99)), fmtRatio(snap.FleetDegraded),
+		fmtRuntime(float64(snap.Goroutines), float64(snap.HeapBytes)))
 	if snap.SLOAvailable {
 		for _, o := range snap.SLO.Objectives {
 			if o.Entity != "fleet" {
@@ -341,8 +379,8 @@ func render(w io.Writer, snap *snapshot, maxRows int, clear bool) {
 	} else {
 		sb.WriteString("  (no /slo endpoint — budgets unavailable)\n")
 	}
-	fmt.Fprintf(&sb, "\n%-20s %-11s %5s %4s %8s %6s %8s %7s %6s %-4s\n",
-		"SESSION", "STATE", "QUEUE", "RST", "EST", "DEG%", "LAGp99", "AGE", "BUDGET", "SLO")
+	fmt.Fprintf(&sb, "\n%-20s %-11s %5s %4s %8s %6s %8s %7s %6s %-4s %-5s\n",
+		"SESSION", "STATE", "QUEUE", "RST", "EST", "DEG%", "LAGp99", "AGE", "BUDGET", "SLO", "QUAL")
 	rows := snap.Sessions
 	if maxRows > 0 && len(rows) > maxRows {
 		rows = rows[:maxRows]
@@ -352,10 +390,14 @@ func render(w io.Writer, snap *snapshot, maxRows int, clear bool) {
 		if sloState == "" {
 			sloState = "-"
 		}
-		fmt.Fprintf(&sb, "%-20s %-11s %5d %4d %8d %6s %8s %7s %6s %-4s\n",
+		qual := r.QualityState
+		if qual == "" {
+			qual = "-"
+		}
+		fmt.Fprintf(&sb, "%-20s %-11s %5d %4d %8d %6s %8s %7s %6s %-4s %-5s\n",
 			r.ID, r.State, r.QueueDepth, r.Restarts, r.Estimates,
 			fmtRatio(r.DegradedRatio), fmtSeconds(float64(r.LagP99Seconds)),
-			fmtSeconds(r.LastEstimateAgeSeconds), fmtRatio(float64(r.BudgetRemaining)), sloState)
+			fmtSeconds(r.LastEstimateAgeSeconds), fmtRatio(float64(r.BudgetRemaining)), sloState, qual)
 	}
 	if n := len(snap.Sessions) - len(rows); n > 0 {
 		fmt.Fprintf(&sb, "  … %d more (raise -rows)\n", n)
@@ -368,4 +410,28 @@ func nanZero(v float64) float64 {
 		return 0
 	}
 	return v
+}
+
+// fmtRuntime renders the rim_runtime_* header chunk, or nothing when the
+// daemon predates the runtime sampler.
+func fmtRuntime(goroutines, heap float64) string {
+	if math.IsNaN(goroutines) && math.IsNaN(heap) {
+		return ""
+	}
+	return fmt.Sprintf("   go: %.0fg %s", nanZero(goroutines), fmtBytes(heap))
+}
+
+func fmtBytes(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", v)
+	}
 }

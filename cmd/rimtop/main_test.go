@@ -70,6 +70,8 @@ func TestWorstFirstOrdering(t *testing.T) {
 		{ID: "warned", State: "running", SLOState: "warn", BudgetRemaining: jsonFloat(0.4)},
 		{ID: "laggy", State: "running", LagP99Seconds: jsonFloat(2), BudgetRemaining: nan},
 		{ID: "degraded", State: "running", DegradedRatio: 0.5, BudgetRemaining: nan},
+		{ID: "mistuned", State: "running", QualityState: "alert", QualityOutsideFrac: 0.8, BudgetRemaining: nan},
+		{ID: "drifting", State: "running", QualityState: "warn", QualityOutsideFrac: 0.3, BudgetRemaining: nan},
 	}
 	for i := 0; i < len(rows); i++ {
 		for j := i + 1; j < len(rows); j++ {
@@ -91,7 +93,9 @@ func TestWorstFirstOrdering(t *testing.T) {
 		ordered[i], ordered[best] = ordered[best], ordered[i]
 		got = append(got, ordered[i].ID)
 	}
-	want := []string{"paging", "warned", "quarantined", "degraded", "laggy", "healthy"}
+	// A quality alert (the filter is statistically inconsistent) outranks
+	// supervisor trouble and throughput symptoms; only a paging SLO beats it.
+	want := []string{"paging", "warned", "mistuned", "drifting", "quarantined", "degraded", "laggy", "healthy"}
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("order = %v, want %v", got, want)

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	rimtrack [-ap 0] [-seed 1] [-speed 0.5] [-fused] [-backend particle|eskf]
-//	         [-loss 0.3] [-dead-ant 2]
+//	         [-quality] [-loss 0.3] [-dead-ant 2]
 //	         [-kernel sequential|unrolled4|unrolled8|vector] [-precision float64|float32]
 //	         [-debug-addr :6060] [-debug-linger 30s]
 //	         [-trace-out trace.json] [-postmortem-out dir]
@@ -39,6 +39,7 @@ import (
 	"rim/internal/geom"
 	"rim/internal/imu"
 	"rim/internal/obs"
+	"rim/internal/obs/quality"
 	"rim/internal/obs/trace"
 	"rim/internal/rf"
 	"rim/internal/traj"
@@ -61,6 +62,7 @@ func main() {
 	pmOut := flag.String("postmortem-out", "", "directory flight-recorder postmortem bundles are written to on degradation")
 	kernelName := flag.String("kernel", "", "TRRS kernel: sequential (default, bit-exact), unrolled4, unrolled8, vector")
 	precName := flag.String("precision", "", "TRRS plane precision: float64 (default, bit-exact), float32")
+	qualityOn := flag.Bool("quality", false, "attach an estimator-consistency monitor to the fusion backend and print its verdict (requires -fused)")
 	flag.Parse()
 
 	kernel, err := trrs.ParseKernel(*kernelName)
@@ -173,6 +175,7 @@ func main() {
 	camCfg := camera.DefaultConfig(*seed)
 
 	var res *tracking.Result
+	var qualityEng *quality.Engine
 	mode := "pure RIM (hexagonal array)"
 	if *fused {
 		backend, ok := fusion.ParseBackend(*backendName)
@@ -204,6 +207,14 @@ func main() {
 		pfCfg.Backend = backend
 		pfCfg.Obs = reg
 		pfCfg.Trace = rec
+		if *qualityOn {
+			qualityEng = quality.New(quality.Config{Obs: reg, Trace: rec, Flight: flight})
+			mon := qualityEng.Monitor("run")
+			pfCfg.Innovations = func(ch int, nu, s float64) {
+				mon.Innovation(ch, fusion.ChannelName(ch), nu, s)
+			}
+			pfCfg.PFStats = mon.PFStep
+		}
 		res, err = tracking.Fused(series, cfg, readings, tracking.FusedConfig{
 			UsePF: true,
 			PF:    pfCfg,
@@ -242,6 +253,21 @@ func main() {
 				fmt.Printf("  %d: rotate %+.0f°\n", i+1, deg(seg.Angle))
 			default:
 				fmt.Printf("  %d: unresolved movement\n", i+1)
+			}
+		}
+	}
+
+	if *qualityOn && qualityEng == nil {
+		fmt.Fprintln(os.Stderr, "rimtrack: warning: -quality has no effect without -fused")
+	}
+	if qualityEng != nil {
+		st, frac, n := qualityEng.Monitor("run").Summary()
+		fmt.Printf("\nestimator quality: %s (%d consistency samples, worst channel %.0f%% outside its chi-square band)\n",
+			st, n, frac*100)
+		for _, ent := range qualityEng.Snapshot().Entities {
+			for _, ch := range ent.Channels {
+				fmt.Printf("  channel %-10s %-5s %5d samples, %.0f%% outside band\n",
+					ch.Channel, ch.State, ch.Samples, ch.OutsideFrac*100)
 			}
 		}
 	}

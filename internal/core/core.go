@@ -18,6 +18,7 @@ import (
 	"rim/internal/csi"
 	"rim/internal/geom"
 	"rim/internal/obs"
+	"rim/internal/obs/quality"
 	"rim/internal/obs/trace"
 	"rim/internal/sigproc"
 	"rim/internal/trrs"
@@ -107,6 +108,13 @@ type Config struct {
 	// estimates, analysis failures, dead antennas); it snapshots Trace's
 	// recent past into a postmortem bundle. nil disables the offers.
 	Flight *trace.Flight
+	// Quality is the estimator-consistency engine (internal/obs/quality)
+	// the pipeline's signal-quality telemetry reports into: per-slot
+	// movement-indicator (κ) samples, segment peak-sharpness and
+	// alignment residuals, and the confidence-calibration outcomes of
+	// finalized moving estimates. nil — the default — disables the
+	// telemetry at one nil check per hop.
+	Quality *quality.Engine
 	// arena, when non-nil, supplies recycled backings for the derived
 	// (averaged, virtual-massive) matrices of one analysis pass. The
 	// streaming front end threads a pooled arena through here so the

@@ -11,6 +11,7 @@ import (
 
 	"rim/internal/csi"
 	"rim/internal/obs"
+	"rim/internal/obs/quality"
 	"rim/internal/obs/trace"
 	"rim/internal/sigproc"
 	"rim/internal/trrs"
@@ -191,6 +192,7 @@ type Streamer struct {
 	// recorder supplies an epoch. lagOn gates the whole lag path.
 	trc      *trace.Recorder
 	flight   *trace.Flight
+	qual     *quality.Engine
 	hopSeq   int64
 	ingestNs []int64
 	t0       time.Time
@@ -339,6 +341,7 @@ func NewStreamer(cfg StreamConfig, rate float64, numAnts, numTx, numSub int) (*S
 	st.ob = newStreamObs(cfg.Core.Obs)
 	st.trc = cfg.Core.Trace
 	st.flight = cfg.Core.Flight
+	st.qual = cfg.Core.Quality
 	st.t0 = time.Now()
 	st.lagOn = st.trc != nil || st.ob.lagH != nil
 	if !cfg.Recompute {
@@ -787,8 +790,21 @@ func (st *Streamer) analyze(flush bool, ctx context.Context) ([]Estimate, error)
 
 	var out []Estimate
 	var degCount int
+	// Estimator-quality telemetry of the hop's newly finalized slots:
+	// movement-indicator (κ) samples, calibration outcomes of moving
+	// estimates — a moving slot whose indicator sits at or above the
+	// hysteresis release level contradicts the zero-velocity evidence
+	// (the static run the ZUPT extractor would trust) and counts as a
+	// bad outcome — and alignment residuals of resolved slots.
+	firstLocal := st.finalized - st.dropped
+	release := st.cfg.Core.Movement.ReleaseThreshold
+	if release < st.cfg.Core.Movement.Threshold {
+		release = st.cfg.Core.Movement.Threshold
+	}
+	var kappaSum float64
+	var kappaN, contradictions int
 	dt := 1 / st.rate
-	for local := st.finalized - st.dropped; local < upTo; local++ {
+	for local := firstLocal; local < upTo; local++ {
 		if local < 0 {
 			continue
 		}
@@ -815,8 +831,43 @@ func (st *Streamer) analyze(flush bool, ctx context.Context) ([]Estimate, error)
 			degFlag = 1
 			degCount++
 		}
+		if st.qual != nil && res != nil {
+			if local < len(res.MovementIndicator) {
+				k := res.MovementIndicator[local]
+				st.qual.ObserveKappa(k)
+				kappaSum += k
+				kappaN++
+			}
+			if e.Moving {
+				contra := release > 0 && local < len(res.MovementIndicator) &&
+					res.MovementIndicator[local] >= release
+				if contra {
+					contradictions++
+				}
+				st.qual.ObserveOutcome(e.Confidence, !e.Degraded && !contra)
+				if !e.Degraded && e.Confidence > 0 {
+					st.qual.ObserveAlignResidual(1 - e.Confidence)
+				}
+			}
+		}
 		st.trc.Emit(trace.KindEstimate, hop, int64(st.dropped+local), degFlag, int64(e.Kind))
 		out = append(out, e)
+	}
+	if st.qual != nil && res != nil {
+		// Peak sharpness of segments finalized this hop (a segment is
+		// observed once, when its end slot crosses the finalized frontier).
+		for _, seg := range res.Segments {
+			if seg.End > firstLocal && seg.End <= upTo && seg.Kind != MotionNone {
+				st.qual.ObserveSharpness(seg.Confidence)
+			}
+		}
+		if kappaN > 0 {
+			// Per-hop quality event: A = ZUPT-contradiction count, B =
+			// mean movement indicator of the hop's finalized slots in
+			// permille.
+			st.trc.Emit(trace.KindQuality, hop, winLo,
+				int64(contradictions), int64(kappaSum/float64(kappaN)*1000))
+		}
 	}
 	if upTo > st.finalized-st.dropped {
 		st.finalized = st.dropped + upTo

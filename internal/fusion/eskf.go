@@ -203,9 +203,9 @@ func (f *ESKF) Step(in Input) geom.Pose {
 	zupt := in.ZUPT
 	if zupt {
 		// Zero velocity: the raw increments are pure bias observations.
-		f.update([eskfDim]float64{eV: 1}, in.DistDelta/dt-f.vBias,
+		f.update(ChanZUPTSpeed, [eskfDim]float64{eV: 1}, in.DistDelta/dt-f.vBias,
 			f.cfg.ESKF.ZUPTSpeedStd*f.cfg.ESKF.ZUPTSpeedStd)
-		f.update([eskfDim]float64{eB: 1}, in.ThetaDelta/dt-f.gBias,
+		f.update(ChanZUPTGyro, [eskfDim]float64{eB: 1}, in.ThetaDelta/dt-f.gBias,
 			f.cfg.ESKF.ZUPTGyroStd*f.cfg.ESKF.ZUPTGyroStd)
 		f.zuptUpdates.Inc()
 	} else if d != 0 {
@@ -215,11 +215,11 @@ func (f *ESKF) Step(in Input) geom.Pose {
 		// satisfies the constraint), so this only conditions the
 		// covariance, bounding heading-induced cross-track growth.
 		sin, cos = math.Sincos(f.theta)
-		f.update([eskfDim]float64{eX: -sin, eY: cos}, 0,
+		f.update(ChanSlip, [eskfDim]float64{eX: -sin, eY: cos}, 0,
 			f.cfg.ESKF.SlipStd*f.cfg.ESKF.SlipStd)
 	}
 	if in.HasMag {
-		f.update([eskfDim]float64{eTheta: 1},
+		f.update(ChanMag, [eskfDim]float64{eTheta: 1},
 			geom.NormalizeAngle(in.MagHeading-f.theta),
 			f.cfg.ESKF.MagStd*f.cfg.ESKF.MagStd)
 	}
@@ -236,11 +236,14 @@ func (f *ESKF) Step(in Input) geom.Pose {
 	return f.Estimate()
 }
 
-// update applies one scalar measurement with row Jacobian h, innovation nu
-// and noise variance r: Joseph-form covariance update, then the error
-// estimate K·nu is folded into the nominal state and the error reset to
-// zero.
-func (f *ESKF) update(h [eskfDim]float64, nu, r float64) {
+// update applies one scalar measurement on channel ch with row Jacobian h,
+// innovation nu and noise variance r: Joseph-form covariance update, then
+// the error estimate K·nu is folded into the nominal state and the error
+// reset to zero. The (nu, S) pair is reported through Config.Innovations
+// before the update so a consistency monitor sees the pre-update
+// innovation statistics (NIS = nu²/S is chi-square(1) when the filter is
+// consistent).
+func (f *ESKF) update(ch int, h [eskfDim]float64, nu, r float64) {
 	// S = h P hᵀ + r, K = P hᵀ / S.
 	var ph [eskfDim]float64
 	for i := 0; i < eskfDim; i++ {
@@ -254,6 +257,9 @@ func (f *ESKF) update(h [eskfDim]float64, nu, r float64) {
 	}
 	if s <= 0 {
 		return
+	}
+	if f.cfg.Innovations != nil {
+		f.cfg.Innovations(ch, nu, s)
 	}
 	var k [eskfDim]float64
 	for i := 0; i < eskfDim; i++ {

@@ -41,6 +41,42 @@ type Input struct {
 	HasMag     bool
 }
 
+// Measurement channels of the ESKF backend, identifying which
+// pseudo-measurement produced an innovation reported through
+// Config.Innovations. The ordinals are stable: consistency monitors key
+// their per-channel acceptance windows on them.
+const (
+	// ChanZUPTSpeed is the zero-velocity speed pseudo-measurement.
+	ChanZUPTSpeed = iota
+	// ChanZUPTGyro is the zero-rotation gyro pseudo-measurement.
+	ChanZUPTGyro
+	// ChanSlip is the no-lateral-slip pseudo-measurement. Its innovation
+	// is identically zero by construction (see ESKF.Step), so consumers
+	// track it separately and must not let it dilute the other channels.
+	ChanSlip
+	// ChanMag is the absolute magnetic-heading update.
+	ChanMag
+
+	// NumChannels bounds the channel ordinals.
+	NumChannels
+)
+
+// ChannelName returns the stable metric-label name of a measurement
+// channel.
+func ChannelName(ch int) string {
+	switch ch {
+	case ChanZUPTSpeed:
+		return "zupt_speed"
+	case ChanZUPTGyro:
+		return "zupt_gyro"
+	case ChanSlip:
+		return "slip"
+	case ChanMag:
+		return "mag"
+	}
+	return "unknown"
+}
+
 // Config parameterizes the particle filter.
 type Config struct {
 	// NumParticles (default 400).
@@ -77,6 +113,21 @@ type Config struct {
 	// (A = input quality in permille, B = particles alive afterwards) so
 	// fused runs carry the filter's decisions in their causal trace.
 	Trace *trace.Recorder
+	// Innovations, when non-nil, receives every scalar measurement update
+	// the ESKF backend applies: the channel ordinal (Chan* constants), the
+	// innovation nu and the innovation variance S = h·P·hᵀ + r. nu²/S is
+	// the per-update Normalized Innovation Squared a consistency monitor
+	// (internal/obs/quality) checks against its chi-square band. The
+	// particle filter has no innovations and ignores the hook. Called
+	// synchronously from Step — keep it cheap and non-blocking.
+	Innovations func(channel int, nu, s float64)
+	// PFStats, when non-nil, receives the particle filter's per-step
+	// health statistics: the effective sample size as a fraction of the
+	// cloud (1 = uniform weights, →1/N = degenerate) and the weight
+	// entropy as a fraction of the uniform-cloud maximum ln N. The ESKF
+	// backend has no particle cloud and ignores the hook. Called
+	// synchronously from Step.
+	PFStats func(essFrac, entropyFrac float64)
 }
 
 // DefaultConfig returns the settings used for Fig. 21.
@@ -192,6 +243,15 @@ func (f *Filter) Step(in Input) geom.Pose {
 			f.parts[i].weight *= inv
 		}
 	}
+	if f.cfg.PFStats != nil {
+		// Report the post-update, pre-resample statistics: degeneracy is
+		// the signal; resampling deliberately erases it.
+		entFrac := 0.0
+		if n := float64(len(f.parts)); n > 1 {
+			entFrac = f.weightEntropy() / math.Log(n)
+		}
+		f.cfg.PFStats(f.effectiveFraction(), entFrac)
+	}
 	if f.effectiveFraction() < f.cfg.ResampleFrac {
 		f.resamples.Inc()
 		f.resample()
@@ -243,6 +303,18 @@ func (f *Filter) effectiveFraction() float64 {
 		return 0
 	}
 	return 1 / sum2 / float64(len(f.parts))
+}
+
+// weightEntropy returns the Shannon entropy of the (normalized) particle
+// weights in nats: ln N for a uniform cloud, 0 for a fully degenerate one.
+func (f *Filter) weightEntropy() float64 {
+	var h float64
+	for _, p := range f.parts {
+		if p.weight > 0 {
+			h -= p.weight * math.Log(p.weight)
+		}
+	}
+	return h
 }
 
 // resample performs systematic resampling proportional to weights.

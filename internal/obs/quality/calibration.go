@@ -1,0 +1,125 @@
+package quality
+
+import (
+	"math"
+	"sync"
+)
+
+// Confidence calibration. The pipeline stamps every moving estimate with
+// a post-check Confidence in [0,1]; downstream consumers weight or skip
+// slots by it. Whether those numbers mean anything is an empirical
+// question: among slots reported at confidence ~0.8, did ~80% actually
+// hold up? The accumulator bins (reported confidence, realized outcome)
+// pairs into a reliability curve; the gap between the diagonal and the
+// observed good-fraction — summarized as the expected calibration error —
+// is the calibration verdict.
+
+// CalBin is one reliability-curve bin over reported confidence
+// [Lo, Hi).
+type CalBin struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+	// Samples is the number of outcomes binned here.
+	Samples uint64 `json:"samples"`
+	// Observed is the realized good fraction of the bin's samples
+	// (NaN-free: 0 when the bin is empty).
+	Observed float64 `json:"observed"`
+}
+
+// Calibration accumulates (reported confidence, realized outcome) pairs
+// into fixed confidence bins. Nil-safe and internally locked.
+type Calibration struct {
+	mu    sync.Mutex
+	bins  int
+	good  []uint64
+	total []uint64
+}
+
+// NewCalibration builds an accumulator with the given bin count (values
+// below 1 take 10).
+func NewCalibration(bins int) *Calibration {
+	if bins < 1 {
+		bins = 10
+	}
+	return &Calibration{bins: bins, good: make([]uint64, bins), total: make([]uint64, bins)}
+}
+
+// Add records one outcome for an estimate reported at the given
+// confidence. Non-finite confidences are dropped (a NaN confidence
+// carries no calibration information); values outside [0,1] clamp to the
+// edge bins. Reports whether the sample was accepted.
+func (c *Calibration) Add(conf float64, good bool) bool {
+	if c == nil || math.IsNaN(conf) || math.IsInf(conf, 0) {
+		return false
+	}
+	i := int(conf * float64(c.bins))
+	if i < 0 {
+		i = 0
+	}
+	if i >= c.bins {
+		i = c.bins - 1
+	}
+	c.mu.Lock()
+	c.total[i]++
+	if good {
+		c.good[i]++
+	}
+	c.mu.Unlock()
+	return true
+}
+
+// Samples returns the total accepted sample count.
+func (c *Calibration) Samples() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n uint64
+	for _, t := range c.total {
+		n += t
+	}
+	return n
+}
+
+// Curve returns the reliability curve, one CalBin per confidence bin in
+// ascending order (empty bins included, Observed 0).
+func (c *Calibration) Curve() []CalBin {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CalBin, c.bins)
+	w := 1 / float64(c.bins)
+	for i := range out {
+		out[i] = CalBin{Lo: float64(i) * w, Hi: float64(i+1) * w, Samples: c.total[i]}
+		if c.total[i] > 0 {
+			out[i].Observed = float64(c.good[i]) / float64(c.total[i])
+		}
+	}
+	return out
+}
+
+// ExpectedCalibrationError summarizes a reliability curve as the
+// sample-weighted mean absolute gap between each bin's midpoint
+// confidence and its observed good fraction (0 = perfectly calibrated,
+// 0 for an empty curve).
+func ExpectedCalibrationError(curve []CalBin) float64 {
+	var n uint64
+	for _, b := range curve {
+		n += b.Samples
+	}
+	if n == 0 {
+		return 0
+	}
+	var ece float64
+	for _, b := range curve {
+		if b.Samples == 0 {
+			continue
+		}
+		mid := (b.Lo + b.Hi) / 2
+		ece += float64(b.Samples) / float64(n) * math.Abs(b.Observed-mid)
+	}
+	return ece
+}

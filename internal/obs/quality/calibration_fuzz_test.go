@@ -1,0 +1,74 @@
+package quality
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzCalibration drives the accumulator with arbitrary confidence
+// values (including NaN/Inf/out-of-range) and checks its invariants:
+// accepted-sample conservation across Add/Curve/Samples, Observed in
+// [0,1], bin edges forming a partition of [0,1], and a finite ECE in
+// [0,1].
+func FuzzCalibration(f *testing.F) {
+	f.Add(0.5, true, uint8(10))
+	f.Add(0.0, false, uint8(1))
+	f.Add(1.0, true, uint8(3))
+	f.Add(math.NaN(), true, uint8(10))
+	f.Add(math.Inf(1), false, uint8(10))
+	f.Add(-3.7, true, uint8(0))
+	f.Add(1e308, false, uint8(200))
+	f.Fuzz(func(t *testing.T, conf float64, good bool, bins uint8) {
+		c := NewCalibration(int(bins))
+		accepted := uint64(0)
+		// The fuzzed sample plus a fixed spread exercising every path.
+		probes := []struct {
+			conf float64
+			good bool
+		}{
+			{conf, good}, {0, true}, {0.999, false}, {0.5, good},
+			{conf / 2, !good}, {conf * 2, good},
+		}
+		for _, p := range probes {
+			if c.Add(p.conf, p.good) {
+				accepted++
+				if math.IsNaN(p.conf) || math.IsInf(p.conf, 0) {
+					t.Fatalf("accepted non-finite confidence %v", p.conf)
+				}
+			}
+		}
+		if got := c.Samples(); got != accepted {
+			t.Fatalf("Samples() = %d, accepted = %d", got, accepted)
+		}
+		curve := c.Curve()
+		wantBins := int(bins)
+		if wantBins < 1 {
+			wantBins = 10
+		}
+		if len(curve) != wantBins {
+			t.Fatalf("curve bins = %d, want %d", len(curve), wantBins)
+		}
+		var total uint64
+		for i, b := range curve {
+			total += b.Samples
+			if b.Observed < 0 || b.Observed > 1 || math.IsNaN(b.Observed) {
+				t.Fatalf("bin %d observed = %v", i, b.Observed)
+			}
+			if b.Lo > b.Hi {
+				t.Fatalf("bin %d inverted: [%v, %v]", i, b.Lo, b.Hi)
+			}
+			if i > 0 && math.Abs(b.Lo-curve[i-1].Hi) > 1e-12 {
+				t.Fatalf("bin %d not contiguous: prev hi %v, lo %v", i, curve[i-1].Hi, b.Lo)
+			}
+		}
+		if curve[0].Lo != 0 || math.Abs(curve[len(curve)-1].Hi-1) > 1e-12 {
+			t.Fatalf("curve does not span [0,1]: [%v, %v]", curve[0].Lo, curve[len(curve)-1].Hi)
+		}
+		if total != accepted {
+			t.Fatalf("curve samples = %d, accepted = %d", total, accepted)
+		}
+		if ece := ExpectedCalibrationError(curve); ece < 0 || ece > 1 || math.IsNaN(ece) {
+			t.Fatalf("ECE = %v", ece)
+		}
+	})
+}

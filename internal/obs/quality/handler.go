@@ -1,0 +1,20 @@
+package quality
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the engine's Snapshot as JSON — the /quality endpoint of
+// the debug mux. A nil engine serves an empty snapshot, mirroring the
+// trace and flight handlers.
+func (e *Engine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(e.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"testing"
+	"time"
+)
+
+// TestRuntimeSamplerPublishes: one Sample must land plausible values in
+// every rim_runtime_* series and the names must pass the lint.
+func TestRuntimeSamplerPublishes(t *testing.T) {
+	reg := NewRegistry()
+	s := NewRuntimeSampler(reg)
+	runtime.GC() // guarantee at least one cycle and one pause sample
+	s.Sample()
+	if v := s.goroutines.Value(); v < 1 {
+		t.Fatalf("rim_runtime_goroutines = %v", v)
+	}
+	if v := s.heapBytes.Value(); v <= 0 {
+		t.Fatalf("rim_runtime_heap_bytes = %v", v)
+	}
+	if v := s.gcCycles.Value(); v < 1 {
+		t.Fatalf("rim_runtime_gc_cycles_total = %v", v)
+	}
+	if v := s.gcPauseP99.Value(); v < 0 || math.IsNaN(v) {
+		t.Fatalf("rim_runtime_gc_pause_p99_seconds = %v", v)
+	}
+	// Cycle delta: a second GC must advance the counter by the delta,
+	// not re-add the cumulative total.
+	before := s.gcCycles.Value()
+	runtime.GC()
+	s.Sample()
+	after := s.gcCycles.Value()
+	if after < before || after > before+64 {
+		t.Fatalf("gc cycles %d -> %d: delta accounting broken", before, after)
+	}
+	if bad := LintMetricNames(reg.Snapshot()); len(bad) > 0 {
+		t.Fatalf("lint violations: %v", bad)
+	}
+}
+
+// TestRuntimeSamplerNilRegistry: the nil-registry sampler must be inert.
+func TestRuntimeSamplerNilRegistry(t *testing.T) {
+	s := NewRuntimeSampler(nil)
+	s.Sample() // must not panic
+	stop := s.Start(time.Millisecond)
+	stop()
+	stop() // idempotent
+	var nilS *RuntimeSampler
+	nilS.Sample()
+	nilS.Start(time.Millisecond)()
+}
+
+// TestRuntimeSamplerStartStop: the background loop must sample and shut
+// down cleanly.
+func TestRuntimeSamplerStartStop(t *testing.T) {
+	reg := NewRegistry()
+	s := NewRuntimeSampler(reg)
+	stop := s.Start(time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for s.goroutines.Value() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	if s.goroutines.Value() < 1 {
+		t.Fatalf("loop never sampled")
+	}
+}
+
+// TestRuntimeHistQuantile pins the bucket walk on a hand-built histogram.
+func TestRuntimeHistQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{0, 90, 9, 1},
+		Buckets: []float64{math.Inf(-1), 0.001, 0.01, 0.1, math.Inf(1)},
+	}
+	if got := runtimeHistQuantile(h, 0.5); got != 0.01 {
+		t.Fatalf("p50 = %v, want 0.01", got)
+	}
+	if got := runtimeHistQuantile(h, 0.99); got != 0.1 {
+		t.Fatalf("p99 = %v, want 0.1", got)
+	}
+	// The top sample sits in the +Inf bucket: clamp to its finite lower
+	// bound instead of reporting infinity.
+	if got := runtimeHistQuantile(h, 1); got != 0.1 {
+		t.Fatalf("p100 = %v, want 0.1", got)
+	}
+	empty := &metrics.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}
+	if got := runtimeHistQuantile(empty, 0.99); got != 0 {
+		t.Fatalf("empty p99 = %v", got)
+	}
+}

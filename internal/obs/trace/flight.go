@@ -34,6 +34,10 @@ const (
 	// ReasonSessionQuarantined: a session supervisor gave up restarting a
 	// flapping session and quarantined it.
 	ReasonSessionQuarantined = "session_quarantined"
+	// ReasonQualityBreach: an estimator-quality monitor (NIS/NEES band
+	// state machine, see internal/obs/quality) entered its alert state —
+	// the filter is statistically inconsistent with its own covariance.
+	ReasonQualityBreach = "quality_breach"
 )
 
 // Reasons lists the trigger reasons in ordinal order.
@@ -42,6 +46,7 @@ var Reasons = []string{
 	ReasonHopDeadline, ReasonSessionQuarantined,
 	// Appended, never inserted: ordinals are wire-stable in old bundles.
 	ReasonSLOBreach,
+	ReasonQualityBreach,
 }
 
 func reasonOrdinal(reason string) int64 {

@@ -91,6 +91,11 @@ const (
 	// movement detector. Frame = start slot, A = end slot (exclusive,
 	// window-local like KindSegment), B = interval confidence in permille.
 	KindZUPT
+	// KindQuality marks one estimator-quality verdict: a per-hop streamer
+	// quality summary or a quality-monitor state transition (see
+	// internal/obs/quality). A = the monitor state ordinal (0 ok, 1 warn,
+	// 2 alert), B = the windowed fraction-outside-band in permille.
+	KindQuality
 
 	numKinds
 )
@@ -114,6 +119,7 @@ var kindNames = [numKinds]string{
 	KindLag:           "lag",
 	KindTrigger:       "trigger",
 	KindZUPT:          "zupt",
+	KindQuality:       "quality",
 }
 
 // String implements fmt.Stringer.

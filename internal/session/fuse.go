@@ -1,7 +1,9 @@
 package session
 
 import (
+	"hash/fnv"
 	"math"
+	"math/rand"
 	"sync"
 
 	"rim/internal/core"
@@ -28,13 +30,23 @@ type fuser struct {
 	theta  float64 // integrated body heading, rad
 	course float64 // last world-frame course fed to the backend
 	pose   geom.Pose
+
+	// Mistune fault injection (quality self-test): when noiseStd > 0,
+	// zero-mean Gaussian noise is added to every step's distance and
+	// heading increments. The backend's tuned measurement noise no longer
+	// matches what it is fed, so its NIS leaves the chi-square band and
+	// the quality monitor must notice.
+	noiseStd float64
+	noise    *rand.Rand
 }
 
 // newFuser builds a session's backend from the registry-level template,
 // fixing the step duration to the session's slot rate. Sessions track from
 // the origin: the wire protocol carries no absolute start pose, so fused
-// poses are relative to the session's first frame.
-func newFuser(cfg fusion.Config, rate float64) (*fuser, error) {
+// poses are relative to the session's first frame. noiseStd > 0 arms the
+// mistune fault injector with a deterministic per-session noise stream
+// derived from id.
+func newFuser(cfg fusion.Config, rate float64, noiseStd float64, id string) (*fuser, error) {
 	if cfg.StepSeconds <= 0 {
 		cfg.StepSeconds = 1 / rate
 	}
@@ -42,7 +54,14 @@ func newFuser(cfg fusion.Config, rate float64) (*fuser, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &fuser{b: b, dt: cfg.StepSeconds}, nil
+	f := &fuser{b: b, dt: cfg.StepSeconds}
+	if noiseStd > 0 {
+		h := fnv.New64a()
+		h.Write([]byte(id))
+		f.noiseStd = noiseStd
+		f.noise = rand.New(rand.NewSource(int64(h.Sum64())))
+	}
+	return f, nil
 }
 
 // feed advances the backend by one finalized estimate batch.
@@ -72,6 +91,14 @@ func (f *fuser) feed(ests []core.Estimate) {
 			in.DistDelta = e.Speed * f.dt
 			in.ThetaDelta = geom.NormalizeAngle(course - f.course)
 			f.course = course
+		}
+		if f.noise != nil {
+			// Mistune injection: the noise hits ZUPT steps too — a static
+			// slot with a non-zero distance increment is exactly the
+			// inconsistency NIS is built to expose (innovation std ≈
+			// noiseStd/dt against the filter's tuned ZUPTSpeedStd).
+			in.DistDelta += f.noise.NormFloat64() * f.noiseStd
+			in.ThetaDelta += f.noise.NormFloat64() * f.noiseStd
 		}
 		f.pose = f.b.Step(in)
 	}

@@ -17,7 +17,7 @@ func TestFuserPoseFollowsMovingEstimates(t *testing.T) {
 		t.Run(kind.String(), func(t *testing.T) {
 			cfg := fusion.DefaultConfig(5)
 			cfg.Backend = kind
-			f, err := newFuser(cfg, 100)
+			f, err := newFuser(cfg, 100, 0, "t")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -55,7 +55,7 @@ func TestFuserPoseFollowsMovingEstimates(t *testing.T) {
 // TestNewFuserDefaultsStepToRate pins the dt fallback: a template config
 // without StepSeconds inherits the session's slot rate.
 func TestNewFuserDefaultsStepToRate(t *testing.T) {
-	f, err := newFuser(fusion.DefaultConfig(1), 50)
+	f, err := newFuser(fusion.DefaultConfig(1), 50, 0, "t")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,119 @@
+package session
+
+import (
+	"testing"
+	"time"
+
+	"rim/internal/fusion"
+	"rim/internal/obs/quality"
+)
+
+// qualitySessionConfig wires a fast supervisor with an ESKF backend and a
+// shared consistency engine; sessions named bad-* get the mistune fault
+// injector armed.
+func qualitySessionConfig(d *fakeDriver, eng *quality.Engine) Config {
+	fc := fusion.DefaultConfig(1)
+	fc.Backend = fusion.BackendESKF
+	cfg := fastSupervisor(d, &Metrics{})
+	cfg.Fusion = &fc
+	cfg.Quality = eng
+	cfg.MistunePrefix = "bad"
+	cfg.MistuneNoiseStd = 0.01
+	return cfg
+}
+
+func waitQuality(t *testing.T, s *Session, pred func(QualityInfo) bool) QualityInfo {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		q, ok := s.Quality()
+		if !ok {
+			t.Fatalf("session %q has no quality monitor", s.ID)
+		}
+		if pred(q) {
+			return q
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session %q quality never converged: %+v", s.ID, q)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestMistunedSessionTripsQualityAlert is the session-level half of the
+// detection story: two identical sessions, one with the mistune injector
+// armed. The injected noise violates the ESKF's tuned ZUPT measurement
+// noise, so ONLY the mistuned session's NIS leaves the chi-square band and
+// reaches alert; the clean twin must stay ok on the same estimate stream.
+func TestMistunedSessionTripsQualityAlert(t *testing.T) {
+	eng := quality.New(quality.Config{Window: 32})
+	d := &fakeDriver{}
+	cfg := qualitySessionConfig(d, eng)
+
+	good, err := newSession("good-1", testSpec(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.close()
+	bad, err := newSession("bad-1", testSpec(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.close()
+
+	// The fake stream emits one static (ZUPT) estimate per frame: each
+	// push is one scalar speed + one gyro update through the backend.
+	for i := 0; i < 200; i++ {
+		if err := good.ingest(testFrame(), nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := bad.ingest(testFrame(), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	bq := waitQuality(t, bad, func(q QualityInfo) bool { return q.State == "alert" })
+	if bq.OutsideFrac < 0.5 {
+		t.Errorf("mistuned outside_frac = %.2f, want >= 0.5", bq.OutsideFrac)
+	}
+	gq := waitQuality(t, good, func(q QualityInfo) bool { return q.Samples >= 64 })
+	if gq.State != "ok" {
+		t.Errorf("clean session state = %q, want ok (outside_frac %.2f)", gq.State, gq.OutsideFrac)
+	}
+}
+
+// TestQualityInfoInListing: the /sessions row must carry the quality
+// verdict when an engine is configured, and closing the session must
+// retire its entity from the engine snapshot.
+func TestQualityInfoInListing(t *testing.T) {
+	eng := quality.New(quality.Config{Window: 32})
+	d := &fakeDriver{}
+	r := newTestRegistry(t, &Metrics{}, func(rc *RegistryConfig) {
+		rc.Session = qualitySessionConfig(d, eng)
+	})
+	if _, err := r.Open("bad-listing", testSpec()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := r.Ingest("bad-listing", testFrame(), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		infos := r.Infos()
+		if len(infos) == 1 && infos[0].Quality != nil && infos[0].Quality.State == "alert" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("listing never carried an alert verdict: %+v", infos)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := r.Close("bad-listing"); err != nil {
+		t.Fatal(err)
+	}
+	if snap := eng.Snapshot(); len(snap.Entities) != 0 {
+		t.Fatalf("engine still tracks %d entities after close", len(snap.Entities))
+	}
+}

@@ -233,6 +233,9 @@ func (r *Registry) Close(id string) error {
 	// The walk is over: fold the session's labeled children into the
 	// overflow child so live cardinality tracks the live fleet.
 	r.m.forgetSession(id)
+	// Retire the session's consistency monitor the same way — quality
+	// state is per-incarnation, not per-id.
+	r.cfg.Session.Quality.Forget(id)
 	return nil
 }
 
@@ -483,6 +486,9 @@ type SessionInfo struct {
 	// Pose is the session's latest fused pose (present only when the
 	// registry runs with a fusion backend configured).
 	Pose *geom.Pose `json:"pose,omitempty"`
+	// Quality is the session's estimator-consistency verdict (present only
+	// when a quality engine is configured alongside fusion).
+	Quality *QualityInfo `json:"quality,omitempty"`
 }
 
 // Infos returns the /sessions listing.
@@ -510,6 +516,9 @@ func (r *Registry) Infos() []SessionInfo {
 		if pose, ok := s.Pose(); ok {
 			p := pose
 			info.Pose = &p
+		}
+		if q, ok := s.Quality(); ok {
+			info.Quality = &q
 		}
 		out = append(out, info)
 	}

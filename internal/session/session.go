@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log/slog"
 	"math/rand"
+	"strings"
 	"sync"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"rim/internal/fusion"
 	"rim/internal/geom"
 	"rim/internal/obs"
+	"rim/internal/obs/quality"
 	"rim/internal/obs/trace"
 )
 
@@ -136,6 +138,20 @@ type Config struct {
 	// falls below this threshold into rim_session_low_confidence_total
 	// and the /sessions listing (0 disables the accounting).
 	ConfidenceFloor float64
+	// Quality, when non-nil alongside Fusion, attaches one estimator-
+	// consistency monitor per session: ESKF innovations and particle-filter
+	// degeneracy stats flow into per-channel NIS windows, and the session's
+	// verdict is exposed via Session.Quality and the /sessions listing.
+	Quality *quality.Engine
+	// MistunePrefix/MistuneNoiseStd are the quality self-test fault
+	// injector: sessions whose id starts with MistunePrefix get zero-mean
+	// Gaussian noise (std MistuneNoiseStd, metres / radians per step,
+	// deterministic per-session stream) added to their fusion inputs. The
+	// filter's noise model no longer matches its inputs, so its NIS leaves
+	// the chi-square band — the e2e proof that the monitor detects a
+	// mis-tuned estimator. Empty prefix disables injection.
+	MistunePrefix   string
+	MistuneNoiseStd float64
 	// Metrics receives the session-layer counters (nil = no-op bundle).
 	Metrics *Metrics
 	// Breaker is the daemon-wide circuit breaker fed by session failures
@@ -198,11 +214,12 @@ type Session struct {
 	ID   string
 	Spec Spec
 
-	cfg Config
-	q   *frameQueue
-	rng *rand.Rand     // backoff jitter; worker-goroutine only
-	fus *fuser         // per-session fusion backend (nil = fusion off)
-	sm  sessionMetrics // per-session metric children, resolved once
+	cfg  Config
+	q    *frameQueue
+	rng  *rand.Rand       // backoff jitter; worker-goroutine only
+	fus  *fuser           // per-session fusion backend (nil = fusion off)
+	qmon *quality.Monitor // per-session consistency monitor (nil = off)
+	sm   sessionMetrics   // per-session metric children, resolved once
 
 	mu        sync.Mutex
 	state     State
@@ -252,7 +269,22 @@ func newSession(id string, spec Spec, cfg Config, cp *core.StreamCheckpoint) (*S
 		wake:   make(chan struct{}),
 	}
 	if cfg.Fusion != nil {
-		fus, err := newFuser(*cfg.Fusion, spec.Rate)
+		fc := *cfg.Fusion
+		if mon := cfg.Quality.Monitor(id); mon != nil {
+			// The per-session backend reports into the per-session monitor:
+			// scalar innovations land in per-channel NIS windows, particle
+			// stats in the degeneracy gauges.
+			s.qmon = mon
+			fc.Innovations = func(ch int, nu, sVar float64) {
+				mon.Innovation(ch, fusion.ChannelName(ch), nu, sVar)
+			}
+			fc.PFStats = mon.PFStep
+		}
+		var noiseStd float64
+		if cfg.MistunePrefix != "" && strings.HasPrefix(id, cfg.MistunePrefix) {
+			noiseStd = cfg.MistuneNoiseStd
+		}
+		fus, err := newFuser(fc, spec.Rate, noiseStd, id)
 		if err != nil {
 			return nil, fmt.Errorf("session %q fusion backend: %w", id, err)
 		}
@@ -269,6 +301,28 @@ func (s *Session) Pose() (geom.Pose, bool) {
 		return geom.Pose{}, false
 	}
 	return s.fus.Pose(), true
+}
+
+// QualityInfo is a session's estimator-consistency verdict in the
+// /sessions listing.
+type QualityInfo struct {
+	// State is the monitor verdict: "ok", "warn" or "alert".
+	State string `json:"state"`
+	// OutsideFrac is the worst per-channel windowed fraction of NIS
+	// samples outside the chi-square acceptance band.
+	OutsideFrac float64 `json:"outside_frac"`
+	// Samples counts innovation samples folded into the monitor.
+	Samples uint64 `json:"samples"`
+}
+
+// Quality returns the session's estimator-consistency verdict and whether
+// a quality monitor is attached.
+func (s *Session) Quality() (QualityInfo, bool) {
+	if s.qmon == nil {
+		return QualityInfo{}, false
+	}
+	st, frac, n := s.qmon.Summary()
+	return QualityInfo{State: st.String(), OutsideFrac: frac, Samples: n}, true
 }
 
 // State returns the session's lifecycle state.

@@ -11,6 +11,7 @@ import (
 	"rim/internal/fusion"
 	"rim/internal/geom"
 	"rim/internal/obs"
+	"rim/internal/obs/quality"
 	"rim/internal/obs/slo"
 	"rim/internal/session"
 )
@@ -56,6 +57,27 @@ func TestRepoMetricNamesLint(t *testing.T) {
 	m.Lag.With("lint").Observe(0)
 	m.ShardDepth.With("0").Set(0)
 	m.ShardSessions.With("0").Set(0)
+
+	// Estimator-quality engine: drive one monitor through an alert so the
+	// state gauge, transition counter, and every telemetry histogram render.
+	qeng := quality.New(quality.Config{Obs: reg, Window: 8})
+	qmon := qeng.Monitor("lint")
+	for i := 0; i < 8; i++ {
+		qmon.Innovation(0, "zupt_speed", 10, 1) // NIS 100: far outside band
+		qmon.PFStep(0.5, 0.9)
+	}
+	qmon.NEES(1, 2)
+	qeng.ObserveKappa(0.5)
+	qeng.ObserveSharpness(0.8)
+	qeng.ObserveAlignResidual(0.1)
+	qeng.ObserveOutcome(0.9, true)
+	qeng.ObserveOutcome(0.9, false)
+	if qmon.State() != quality.StateAlert {
+		t.Fatal("lint monitor never alerted — transition counter never rendered")
+	}
+
+	// Go runtime bridge.
+	obs.NewRuntimeSampler(reg).Sample()
 
 	// SLO engine: register a hard-failing objective and tick it across its
 	// short window so state, budget, burn, and transition children exist.
